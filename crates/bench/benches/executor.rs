@@ -1,0 +1,87 @@
+//! Executor microbenchmarks: the left-deep hash-join pipeline that every
+//! propagation query runs through, and the net-effect operator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rolljoin_common::{tup, ColumnType, DeltaRow, Schema};
+use rolljoin_relalg::{exec, net_effect, JoinSpec};
+
+fn rows(n: usize, keys: i64) -> Vec<DeltaRow> {
+    (0..n)
+        .map(|i| DeltaRow::base(tup![i as i64, (i as i64) % keys]))
+        .collect()
+}
+
+fn spec() -> JoinSpec {
+    JoinSpec {
+        slot_schemas: vec![
+            Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            Schema::new([("b", ColumnType::Int), ("c", ColumnType::Int)]),
+        ],
+        equi: vec![(1, 2)],
+        filter: None,
+        projection: vec![0, 3],
+    }
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_join");
+    g.sample_size(20);
+    for size in [1_000usize, 10_000, 50_000] {
+        // Key domain scales with size so the join fan-out (and therefore
+        // output cardinality) stays ~1 per probe row.
+        let keys = (size / 10) as i64;
+        let r = rows(size, keys);
+        let s: Vec<DeltaRow> = (0..size)
+            .map(|i| DeltaRow::base(tup![(i as i64) % keys, i as i64]))
+            .collect();
+        g.throughput(Throughput::Elements(2 * size as u64));
+        g.bench_function(format!("two_way_{size}x{size}"), |b| {
+            b.iter(|| {
+                let (out, _) =
+                    exec::execute(vec![r.clone(), s.clone()], &spec(), 1).unwrap();
+                out.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_delta_join(c: &mut Criterion) {
+    // The propagation shape: a small timestamped delta against a large
+    // base side.
+    let mut g = c.benchmark_group("delta_join");
+    g.sample_size(20);
+    let base: Vec<DeltaRow> = (0..50_000)
+        .map(|i| DeltaRow::base(tup![(i as i64) % 1_000, i as i64]))
+        .collect();
+    for delta_size in [10usize, 100, 1_000] {
+        let delta: Vec<DeltaRow> = (0..delta_size)
+            .map(|i| DeltaRow::change(i as u64 + 1, 1, tup![i as i64, (i as i64) % 1_000]))
+            .collect();
+        g.throughput(Throughput::Elements(delta_size as u64));
+        g.bench_function(format!("delta_{delta_size}_vs_base_50k"), |b| {
+            b.iter(|| {
+                let (out, _) =
+                    exec::execute(vec![delta.clone(), base.clone()], &spec(), 1).unwrap();
+                out.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_net_effect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_effect");
+    g.sample_size(20);
+    let rows: Vec<DeltaRow> = (0..100_000)
+        .map(|i| DeltaRow::change(i as u64 + 1, if i % 3 == 0 { -1 } else { 1 }, tup![(i as i64) % 5_000]))
+        .collect();
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("phi_100k_rows_5k_groups", |b| {
+        b.iter(|| net_effect(rows.clone()).len());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_join, bench_delta_join, bench_net_effect);
+criterion_main!(benches);

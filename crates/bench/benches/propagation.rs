@@ -1,0 +1,96 @@
+//! Propagation benchmarks: the cost of one maintenance step as a function
+//! of the interval width δ (the paper's §3.3 tuning knob), for both
+//! `Propagate` and `RollingPropagate`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rolljoin_core::{materialize, Propagator, RollingPropagator, UniformInterval};
+use rolljoin_workload::{int_pair_stream, TwoWay, UpdateMix};
+
+const ROWS: usize = 10_000;
+const KEYS: i64 = 2_000;
+const CHURN: usize = 2_000;
+
+fn setup() -> (TwoWay, rolljoin_core::MaintCtx, u64, u64) {
+    let w = TwoWay::setup("bench").unwrap();
+    let still = UpdateMix {
+        delete_frac: 0.0,
+        update_frac: 0.0,
+    };
+    int_pair_stream(w.r, 1, still, KEYS)
+        .load(&w.engine, ROWS)
+        .unwrap();
+    int_pair_stream(w.s, 2, still, KEYS)
+        .load(&w.engine, ROWS)
+        .unwrap();
+    let ctx = w.ctx();
+    let mat = materialize(&ctx).unwrap();
+    let mut sr = int_pair_stream(w.r, 3, UpdateMix::default(), KEYS);
+    let mut ss = int_pair_stream(w.s, 4, UpdateMix::default(), KEYS);
+    let mut end = mat;
+    for i in 0..CHURN {
+        end = if i % 2 == 0 {
+            sr.step(&w.engine).unwrap()
+        } else {
+            ss.step(&w.engine).unwrap()
+        };
+    }
+    ctx.engine.capture_catch_up().unwrap();
+    (w, ctx, mat, end)
+}
+
+fn bench_propagate_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagate_full_interval");
+    g.sample_size(10);
+    for delta in [16u64, 128, 1024] {
+        g.bench_function(format!("propagate_2k_updates_delta_{delta}"), |b| {
+            b.iter_batched(
+                setup,
+                |(_w, ctx, mat, end)| {
+                    let mut p = Propagator::new(ctx, mat);
+                    p.propagate_to(end, delta).unwrap()
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_rolling_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rolling_full_interval");
+    g.sample_size(10);
+    for delta in [16u64, 128, 1024] {
+        g.bench_function(format!("rolling_2k_updates_delta_{delta}"), |b| {
+            b.iter_batched(
+                setup,
+                |(_w, ctx, mat, end)| {
+                    let mut p = RollingPropagator::new(ctx, mat);
+                    p.drain_to(end, &mut UniformInterval(delta)).unwrap()
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply");
+    g.sample_size(10);
+    g.bench_function("roll_2k_updates", |b| {
+        b.iter_batched(
+            || {
+                let (w, ctx, mat, end) = setup();
+                let mut p = Propagator::new(ctx.clone(), mat);
+                p.propagate_to(end, 256).unwrap();
+                (w, ctx, end)
+            },
+            |(_w, ctx, end)| rolljoin_core::roll_to(&ctx, end).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_propagate_interval, bench_rolling_interval, bench_apply);
+criterion_main!(benches);

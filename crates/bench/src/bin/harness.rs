@@ -1,0 +1,56 @@
+//! The experiment harness: regenerates every figure-scenario of
+//! *"How To Roll a Join: Asynchronous Incremental View Maintenance"*
+//! (Salem, Beyer, Lindsay, Cochrane — SIGMOD 2000).
+//!
+//! ```text
+//! cargo run --release -p rolljoin-bench --bin harness -- all
+//! cargo run --release -p rolljoin-bench --bin harness -- e7 e9
+//! cargo run --release -p rolljoin-bench --bin harness -- list
+//! ```
+
+use rolljoin_bench::experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = experiments::all();
+
+    if args.is_empty() || args[0] == "list" {
+        println!("experiments:");
+        for (id, desc, _) in &registry {
+            println!("  {id:<4} {desc}");
+        }
+        println!("\nusage: harness [all | <id>...]");
+        return;
+    }
+
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        registry.iter().map(|(id, _, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let mut failures = 0;
+    for want in &selected {
+        match registry.iter().find(|(id, _, _)| id == want) {
+            Some((id, desc, run)) => {
+                println!("\n=== {id}: {desc} ===");
+                let t0 = Instant::now();
+                match run() {
+                    Ok(()) => println!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64()),
+                    Err(e) => {
+                        eprintln!("[{id} FAILED: {e}]");
+                        failures += 1;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {want} (try `harness list`)");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The experiment suite: one entry per paper figure/equation (see
+//! DESIGN.md §5 for the mapping and EXPERIMENTS.md for recorded results).
+
+pub mod ablation;
+pub mod ablation2;
+pub mod apply_exp;
+pub mod contention;
+pub mod refresh;
+pub mod rolling_exp;
+pub mod sync_async;
+pub mod timeline;
+
+use rolljoin_common::Result;
+use rolljoin_core::MaintCtx;
+use rolljoin_workload::{int_pair_stream, TwoWay, UpdateMix};
+
+/// All experiments, as (id, description, runner).
+pub type Experiment = (&'static str, &'static str, fn() -> Result<()>);
+
+/// The registry the harness binary dispatches on.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("e1", "Fig. 1 — incremental vs full refresh", refresh::e1),
+        ("e2", "Fig. 2 — propagate/apply split defers cost", refresh::e2),
+        ("e3", "Fig. 3 — HWM trails current time; PIT window", timeline::e3),
+        ("e4", "Eq. 1 vs Eq. 2 — 2^n−1 vs n sync queries", sync_async::e4),
+        ("e5", "Fig. 4 — ComputeDelta query structure & lag cost", sync_async::e5),
+        ("e6", "Figs. 6–7 — queries tile the delta region exactly", sync_async::e6),
+        ("e7", "Figs. 8–9 — Propagate vs RollingPropagate (star)", rolling_exp::e7),
+        ("e8", "§3.3 — interval length δ: per-txn vs total work", rolling_exp::e8),
+        ("e9", "§1/Fig. 11 — contention: updaters vs maintenance", contention::e9),
+        ("e10", "§1 — point-in-time refresh cost & correctness", apply_exp::e10),
+        ("e11", "§3/§6 — summary-delta aggregation extension", apply_exp::e11),
+        ("e12", "§3.3 ablation — min-timestamp rule is load-bearing", ablation::e12),
+        ("e13", "§5 ablation — capture lag delays HWM, not correctness", timeline::e13),
+        ("e14", "ablation — index-probe semi-join pushdown", ablation2::e14),
+        ("e15", "ablation — empty-delta subtree skip", ablation2::e15),
+    ]
+}
+
+/// A loaded two-way join: `rows` tuples per side over `key_domain` join
+/// keys, materialized, with inline capture caught up.
+pub fn loaded_two_way(name: &str, rows: usize, key_domain: i64) -> Result<(TwoWay, MaintCtx, u64)> {
+    let w = TwoWay::setup(name)?;
+    int_pair_stream(
+        w.r,
+        1,
+        UpdateMix {
+            delete_frac: 0.0,
+            update_frac: 0.0,
+        },
+        key_domain,
+    )
+    .load(&w.engine, rows)?;
+    int_pair_stream(
+        w.s,
+        2,
+        UpdateMix {
+            delete_frac: 0.0,
+            update_frac: 0.0,
+        },
+        key_domain,
+    )
+    .load(&w.engine, rows)?;
+    let ctx = w.ctx();
+    let mat = rolljoin_core::materialize(&ctx)?;
+    Ok((w, ctx, mat))
+}
+
+/// Apply `n` mixed single-op transactions across both tables of a two-way
+/// setup; returns the last commit CSN.
+pub fn churn_two_way(w: &TwoWay, n: usize, seed: u64, key_domain: i64) -> Result<u64> {
+    let mix = UpdateMix {
+        delete_frac: 0.25,
+        update_frac: 0.25,
+    };
+    let mut sr = int_pair_stream(w.r, seed, mix, key_domain);
+    let mut ss = int_pair_stream(w.s, seed + 1, mix, key_domain);
+    let mut last = 0;
+    for i in 0..n {
+        last = if i % 2 == 0 {
+            sr.step(&w.engine)?
+        } else {
+            ss.step(&w.engine)?
+        };
+    }
+    Ok(last)
+}
+
+/// Verify the MV equals the oracle at its materialization time; returns a
+/// ✓/✗ cell.
+pub fn verify_cell(ctx: &MaintCtx) -> String {
+    ctx.engine.capture_catch_up().unwrap();
+    let got = rolljoin_core::oracle::mv_state(&ctx.engine, &ctx.mv).unwrap();
+    let want =
+        rolljoin_core::oracle::view_at(&ctx.engine, &ctx.mv.view, ctx.mv.mat_time()).unwrap();
+    if got == want {
+        "ok".to_string()
+    } else {
+        "MISMATCH".to_string()
+    }
+}

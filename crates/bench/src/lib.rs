@@ -1,0 +1,29 @@
+//! `rolljoin-bench` — the experiment harness regenerating every
+//! figure-scenario of *"How To Roll a Join"* (SIGMOD 2000), plus shared
+//! helpers for the criterion benches.
+//!
+//! The paper has no measured evaluation tables — its figures are algorithm
+//! and architecture diagrams. Each experiment here regenerates one
+//! figure's *scenario* and quantifies the claim attached to it; the
+//! mapping is in `DESIGN.md` §5 and the measured outcomes in
+//! `EXPERIMENTS.md`. Run everything with `cargo run --release -p
+//! rolljoin-bench --bin harness -- all`.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+use std::time::{Duration, Instant};
+
+/// Time a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed())
+}
+
+/// Milliseconds with two decimals, for table cells.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}

@@ -1,0 +1,85 @@
+//! Markdown-ish table rendering for the experiment harness.
+
+/// A simple aligned table printed to stdout (and capturable into
+/// `EXPERIMENTS.md`).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as a Markdown pipe table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let dashes: Vec<String> = widths.iter().map(|w| format!("{:->w$}", "-")).collect();
+        out.push_str(&format!("|-{}-|", dashes.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n### {title}\n");
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["x", "value"]);
+        t.row(vec!["1".into(), "10".into()]);
+        t.row(vec!["200".into(), "3".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("value"));
+        assert!(lines[1].starts_with("|-"));
+        assert_eq!(lines[2].len(), lines[3].len(), "aligned");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

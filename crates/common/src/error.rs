@@ -1,0 +1,118 @@
+//! The workspace-wide error type.
+
+use crate::{TableId, TxnId};
+use std::fmt;
+
+/// Result alias used across all `rolljoin` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage engine, executor, and maintenance
+/// algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A tuple did not conform to a table's schema.
+    SchemaMismatch(String),
+    /// Unknown table id or name.
+    NoSuchTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Lock could not be granted within the deadlock-avoidance timeout; the
+    /// transaction should abort and retry.
+    LockTimeout { txn: TxnId, table: TableId },
+    /// Operation on a transaction that is no longer active.
+    TxnNotActive(TxnId),
+    /// Attempt to delete a tuple that is not present.
+    TupleNotFound { table: TableId, detail: String },
+    /// The WAL contained bytes that do not decode to a record.
+    WalCorrupt(String),
+    /// A delta range was requested beyond the capture high-water mark, so
+    /// its contents would not yet be complete.
+    CaptureBehind {
+        table: TableId,
+        requested: crate::Csn,
+        hwm: crate::Csn,
+    },
+    /// A delta range or time-travel target falls below the pruned portion
+    /// of a table's delta history.
+    HistoryPruned {
+        table: TableId,
+        requested: crate::Csn,
+        pruned_through: crate::Csn,
+    },
+    /// Point-in-time refresh requested beyond the view-delta high-water
+    /// mark (paper Fig. 3: the apply process may roll only up to the HWM).
+    BeyondHighWaterMark { requested: crate::Csn, hwm: crate::Csn },
+    /// Roll target is before the view's current materialization time; the
+    /// apply process only rolls forward.
+    RollBackward { requested: crate::Csn, current: crate::Csn },
+    /// An invariant of the maintenance algorithms was violated (a bug).
+    Internal(String),
+    /// Invalid configuration or argument.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SchemaMismatch(s) => write!(f, "schema mismatch: {s}"),
+            Error::NoSuchTable(s) => write!(f, "no such table: {s}"),
+            Error::TableExists(s) => write!(f, "table already exists: {s}"),
+            Error::LockTimeout { txn, table } => {
+                write!(f, "{txn} timed out waiting for lock on {table}")
+            }
+            Error::TxnNotActive(t) => write!(f, "{t} is not active"),
+            Error::TupleNotFound { table, detail } => {
+                write!(f, "tuple not found in {table}: {detail}")
+            }
+            Error::WalCorrupt(s) => write!(f, "WAL corrupt: {s}"),
+            Error::CaptureBehind {
+                table,
+                requested,
+                hwm,
+            } => write!(
+                f,
+                "capture for {table} is at CSN {hwm}, behind requested {requested}"
+            ),
+            Error::HistoryPruned {
+                table,
+                requested,
+                pruned_through,
+            } => write!(
+                f,
+                "history of {table} below CSN {pruned_through} is pruned (requested {requested})"
+            ),
+            Error::BeyondHighWaterMark { requested, hwm } => write!(
+                f,
+                "roll target {requested} is beyond the view-delta high-water mark {hwm}"
+            ),
+            Error::RollBackward { requested, current } => write!(
+                f,
+                "roll target {requested} is before the materialization time {current}"
+            ),
+            Error::Internal(s) => write!(f, "internal invariant violated: {s}"),
+            Error::Invalid(s) => write!(f, "invalid argument: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::LockTimeout {
+            txn: TxnId(3),
+            table: TableId(1),
+        };
+        assert!(e.to_string().contains("txn3"));
+        assert!(e.to_string().contains("T1"));
+        let e = Error::BeyondHighWaterMark {
+            requested: 10,
+            hwm: 7,
+        };
+        assert!(e.to_string().contains("high-water"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Delta rows: the `(timestamp, count, tuple)` change records of paper §2.
+
+use crate::{Csn, Tuple};
+use std::fmt;
+
+/// One change record in a delta table (or one logical row of a base table).
+///
+/// * `count = +n` represents the insertion of `n` copies of `tuple`;
+///   `count = -n` the deletion of `n` copies (paper §2).
+/// * `ts = Some(c)` is the commit time of the transaction that made the
+///   change. Base tables carry the implicit timestamp `None` ("null") — it
+///   exists "only for notational convenience" (paper §2) and is never
+///   considered when taking minimum timestamps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeltaRow {
+    /// Commit timestamp; `None` for implicit base-table rows.
+    pub ts: Option<Csn>,
+    /// Signed multiplicity.
+    pub count: i64,
+    /// The attribute values (excluding count/timestamp).
+    pub tuple: Tuple,
+}
+
+impl DeltaRow {
+    /// A timestamped change record.
+    pub fn change(ts: Csn, count: i64, tuple: Tuple) -> Self {
+        DeltaRow {
+            ts: Some(ts),
+            count,
+            tuple,
+        }
+    }
+
+    /// An implicit base-table row: `count = +1`, `ts = None`.
+    pub fn base(tuple: Tuple) -> Self {
+        DeltaRow {
+            ts: None,
+            count: 1,
+            tuple,
+        }
+    }
+
+    /// Negation `-R` from paper §2: flip the sign of the count.
+    pub fn negate(&self) -> DeltaRow {
+        DeltaRow {
+            ts: self.ts,
+            count: -self.count,
+            tuple: self.tuple.clone(),
+        }
+    }
+
+    /// Combine two joined rows per paper §2: count is the **product** of
+    /// counts, timestamp is the **minimum** of the (non-null) timestamps.
+    pub fn join_combine(&self, other: &DeltaRow) -> DeltaRow {
+        let ts = match (self.ts, other.ts) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        DeltaRow {
+            ts,
+            count: self.count * other.count,
+            tuple: self.tuple.concat(&other.tuple),
+        }
+    }
+}
+
+impl fmt::Display for DeltaRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ts {
+            Some(ts) => write!(f, "[ts={} cnt={:+}] {}", ts, self.count, self.tuple),
+            None => write!(f, "[ts=∅ cnt={:+}] {}", self.count, self.tuple),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn join_combine_takes_min_timestamp_and_product_count() {
+        let a = DeltaRow::change(5, -1, tup![1]);
+        let b = DeltaRow::change(3, -1, tup![2]);
+        let j = a.join_combine(&b);
+        assert_eq!(j.ts, Some(3));
+        assert_eq!(j.count, 1); // (-1) * (-1)
+        assert_eq!(j.tuple, tup![1, 2]);
+    }
+
+    #[test]
+    fn join_combine_ignores_null_base_timestamps() {
+        let base = DeltaRow::base(tup!["r"]);
+        let delta = DeltaRow::change(9, 2, tup!["s"]);
+        assert_eq!(base.join_combine(&delta).ts, Some(9));
+        assert_eq!(delta.join_combine(&base).ts, Some(9));
+        assert_eq!(base.join_combine(&base.clone()).ts, None);
+        assert_eq!(base.join_combine(&delta).count, 2);
+    }
+
+    #[test]
+    fn negate_flips_count_only() {
+        let r = DeltaRow::change(4, 3, tup![7]);
+        let n = r.negate();
+        assert_eq!(n.count, -3);
+        assert_eq!(n.ts, Some(4));
+        assert_eq!(n.tuple, r.tuple);
+        assert_eq!(n.negate(), r);
+    }
+}

@@ -1,0 +1,131 @@
+//! Logical time.
+//!
+//! The paper (§2, §5) requires that delta-tuple timestamps reflect the
+//! *serialization order* of the committing transactions, and its prototype
+//! uses DB2 **commit sequence numbers** internally as times. We adopt the
+//! same convention: time is a [`Csn`] — a `u64` allocated at commit under a
+//! global commit mutex, so CSN order ≡ commit order ≡ serialization order.
+//!
+//! Timestamp selections such as `σ_{a,b}` (all tuples with timestamp
+//! `> t_a` and `≤ t_b`) are represented by [`TimeInterval`] which is
+//! **half-open on the left**: `(a, b]`.
+
+/// A commit sequence number. `0` is the "creation time" `t_0` of the
+/// database — no transaction ever commits at CSN 0.
+pub type Csn = u64;
+
+/// The database creation time `t_0` from the paper's figures.
+pub const TIME_ZERO: Csn = 0;
+
+/// The half-open interval `(lo, hi]` used by the paper's `σ_{a,b}` selection.
+///
+/// `σ_{a,b}(Δ^R)` selects delta tuples with timestamp `> t_a` and `≤ t_b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    /// Exclusive lower bound `t_a`.
+    pub lo: Csn,
+    /// Inclusive upper bound `t_b`.
+    pub hi: Csn,
+}
+
+impl TimeInterval {
+    /// Build `(lo, hi]`. Panics if `lo > hi` (an empty interval `lo == hi`
+    /// is allowed and contains nothing).
+    pub fn new(lo: Csn, hi: Csn) -> Self {
+        assert!(lo <= hi, "invalid time interval ({lo}, {hi}]");
+        TimeInterval { lo, hi }
+    }
+
+    /// Does the interval contain timestamp `t`?
+    pub fn contains(&self, t: Csn) -> bool {
+        t > self.lo && t <= self.hi
+    }
+
+    /// True iff the interval contains no timestamps.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Width in CSNs.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// Intersection of two intervals, or `None` when disjoint.
+    pub fn intersect(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo < hi {
+            Some(TimeInterval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Split at `t` (must lie inside) into `(lo, t]` and `(t, hi]` —
+    /// Lemma 4.1's split of a timed delta table.
+    pub fn split(&self, t: Csn) -> (TimeInterval, TimeInterval) {
+        assert!(
+            t >= self.lo && t <= self.hi,
+            "split point {t} outside ({}, {}]",
+            self.lo,
+            self.hi
+        );
+        (TimeInterval::new(self.lo, t), TimeInterval::new(t, self.hi))
+    }
+}
+
+impl std::fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_is_half_open() {
+        let iv = TimeInterval::new(3, 7);
+        assert!(!iv.contains(3));
+        assert!(iv.contains(4));
+        assert!(iv.contains(7));
+        assert!(!iv.contains(8));
+    }
+
+    #[test]
+    fn empty_interval_contains_nothing() {
+        let iv = TimeInterval::new(5, 5);
+        assert!(iv.is_empty());
+        assert!(!iv.contains(5));
+        assert_eq!(iv.len(), 0);
+    }
+
+    #[test]
+    fn intersect_overlapping_and_disjoint() {
+        let a = TimeInterval::new(0, 10);
+        let b = TimeInterval::new(5, 15);
+        assert_eq!(a.intersect(&b), Some(TimeInterval::new(5, 10)));
+        let c = TimeInterval::new(10, 20);
+        assert_eq!(a.intersect(&c), None); // (0,10] ∩ (10,20] = ∅
+    }
+
+    #[test]
+    fn split_partitions() {
+        let iv = TimeInterval::new(2, 9);
+        let (l, r) = iv.split(5);
+        assert_eq!(l, TimeInterval::new(2, 5));
+        assert_eq!(r, TimeInterval::new(5, 9));
+        for t in 0..12 {
+            assert_eq!(iv.contains(t), l.contains(t) || r.contains(t));
+            assert!(!(l.contains(t) && r.contains(t)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_interval_panics() {
+        let _ = TimeInterval::new(7, 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! The apply process: initial materialization, point-in-time refresh, and
+//! the full-recompute baseline.
+//!
+//! The apply process (paper Figs. 2, 3, 11) consumes the timestamped view
+//! delta: to roll the view from its materialization time `t_mat` to any
+//! target `t' ≤ HWM`, it selects `σ_{t_mat, t'}(VD)`, net-effects it, and
+//! installs the net counts into the MV table in one transaction. Because
+//! every view-delta tuple is timestamped, the roll target is chosen **at
+//! apply time**, independent of how propagation was tuned — that is the
+//! paper's point-in-time refresh.
+
+use crate::execute::MaintCtx;
+use rolljoin_common::{Csn, Error, Result, TimeInterval};
+use rolljoin_relalg::{exec, fetch, SlotSource};
+use rolljoin_storage::LockMode;
+
+/// Outcome of a point-in-time refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The CSN the view is now materialized at.
+    pub rolled_to: Csn,
+    /// Distinct tuples whose multiplicity changed.
+    pub tuples_changed: usize,
+    /// Sum of positive net counts installed.
+    pub insertions: i64,
+    /// Sum of negative net counts installed (as a positive number).
+    pub deletions: i64,
+}
+
+/// Initially materialize the view: one transaction that S-locks every base
+/// table, evaluates the all-base join, fills the MV table, and stamps the
+/// materialization time and HWM with its commit CSN. Propagation must then
+/// start from that CSN.
+pub fn materialize(ctx: &MaintCtx) -> Result<Csn> {
+    let view = &ctx.mv.view;
+    let mut txn = ctx.engine.begin();
+    let mut order: Vec<_> = view.bases.clone();
+    order.sort();
+    order.dedup();
+    for t in order {
+        txn.lock(t, LockMode::Shared)?;
+    }
+    txn.lock(ctx.mv.mv_table, LockMode::Exclusive)?;
+
+    let mut slot_rows = Vec::with_capacity(view.n());
+    for base in &view.bases {
+        slot_rows.push(fetch(&ctx.engine, &mut txn, &SlotSource::Base(*base))?);
+    }
+    let (rows, _) = exec::execute(slot_rows, &view.spec, 1)?;
+    for row in rows {
+        txn.apply_count(ctx.mv.mv_table, &row.tuple, row.count)?;
+    }
+    // The materialization CSN is this transaction's own commit time, not
+    // knowable before commit. Persisting the pre-commit clock value is
+    // safe: the base tables are S-locked, so nothing relevant commits in
+    // between, and recovery merely re-propagates an empty window.
+    let conservative = ctx.engine.current_csn();
+    ctx.mv.persist_mat_time(&mut txn, &ctx.engine, conservative)?;
+    let csn = txn.commit()?;
+    ctx.mv.set_mat_time(csn);
+    ctx.mv.set_hwm(csn);
+    Ok(csn)
+}
+
+/// Point-in-time refresh: roll the materialized view forward to `target`.
+///
+/// Fails with [`Error::BeyondHighWaterMark`] if `target` exceeds the view
+/// delta HWM and with [`Error::RollBackward`] if it precedes the current
+/// materialization time (rolling to the current time is a no-op).
+pub fn roll_to(ctx: &MaintCtx, target: Csn) -> Result<ApplyOutcome> {
+    let mat = ctx.mv.mat_time();
+    let hwm = ctx.mv.hwm();
+    if target < mat {
+        return Err(Error::RollBackward {
+            requested: target,
+            current: mat,
+        });
+    }
+    if target > hwm {
+        return Err(Error::BeyondHighWaterMark {
+            requested: target,
+            hwm,
+        });
+    }
+    if target == mat {
+        return Ok(ApplyOutcome {
+            rolled_to: mat,
+            tuples_changed: 0,
+            insertions: 0,
+            deletions: 0,
+        });
+    }
+
+    let mut txn = ctx.engine.begin();
+    // S-lock the VD table so we don't interleave with an in-flight
+    // propagation transaction, then X-lock the MV.
+    txn.lock(ctx.mv.vd_table, LockMode::Shared)?;
+    txn.lock(ctx.mv.mv_table, LockMode::Exclusive)?;
+    let net = ctx
+        .engine
+        .vd_net_range(ctx.mv.vd_table, TimeInterval::new(mat, target))?;
+    let mut insertions = 0i64;
+    let mut deletions = 0i64;
+    let tuples_changed = net.len();
+    for (tuple, count) in net {
+        if count > 0 {
+            insertions += count;
+        } else {
+            deletions += -count;
+        }
+        txn.apply_count(ctx.mv.mv_table, &tuple, count)?;
+    }
+    ctx.mv.persist_mat_time(&mut txn, &ctx.engine, target)?;
+    txn.commit()?;
+    ctx.mv.set_mat_time(target);
+    Ok(ApplyOutcome {
+        rolled_to: target,
+        tuples_changed,
+        insertions,
+        deletions,
+    })
+}
+
+/// Roll to the state as of a wallclock time (microseconds on the engine's
+/// clock), using the unit-of-work table to translate (paper §5). Rolls to
+/// the materialization time itself when no commit is that old.
+pub fn roll_to_wallclock(ctx: &MaintCtx, wallclock_micros: u64) -> Result<ApplyOutcome> {
+    let target = ctx
+        .engine
+        .uow()
+        .csn_at_or_before(wallclock_micros)
+        .unwrap_or(0)
+        .max(ctx.mv.mat_time());
+    roll_to(ctx, target)
+}
+
+/// Non-incremental baseline (paper Fig. 1's alternative): recompute the
+/// view from the current base tables in one big transaction and replace
+/// the MV contents. Returns the new materialization CSN.
+pub fn full_refresh(ctx: &MaintCtx) -> Result<Csn> {
+    let view = &ctx.mv.view;
+    let mut txn = ctx.engine.begin();
+    let mut order: Vec<_> = view.bases.clone();
+    order.sort();
+    order.dedup();
+    for t in order {
+        txn.lock(t, LockMode::Shared)?;
+    }
+    txn.lock(ctx.mv.mv_table, LockMode::Exclusive)?;
+
+    let mut slot_rows = Vec::with_capacity(view.n());
+    for base in &view.bases {
+        slot_rows.push(fetch(&ctx.engine, &mut txn, &SlotSource::Base(*base))?);
+    }
+    let (rows, _) = exec::execute(slot_rows, &view.spec, 1)?;
+    // Diff against the current MV contents rather than truncating, so the
+    // WAL/microcosm stays sane (and deletes are real deletes).
+    let current = txn.scan_counts(ctx.mv.mv_table)?;
+    let mut desired: std::collections::HashMap<_, i64> = std::collections::HashMap::new();
+    for row in rows {
+        *desired.entry(row.tuple).or_insert(0) += row.count;
+    }
+    for (tuple, have) in &current {
+        let want = desired.get(tuple).copied().unwrap_or(0);
+        if want != *have {
+            txn.apply_count(ctx.mv.mv_table, tuple, want - have)?;
+        }
+    }
+    for (tuple, want) in &desired {
+        if !current.contains_key(tuple) {
+            txn.apply_count(ctx.mv.mv_table, tuple, *want)?;
+        }
+    }
+    // Safe for the same reason as in `materialize`.
+    let conservative = ctx.engine.current_csn();
+    ctx.mv.persist_mat_time(&mut txn, &ctx.engine, conservative)?;
+    let csn = txn.commit()?;
+    ctx.mv.set_mat_time(csn);
+    ctx.mv.set_hwm(csn);
+    // View-delta records at or below the new materialization time are now
+    // stale; drop them so a later roll cannot double-apply.
+    ctx.engine.vd_prune(ctx.mv.vd_table, csn)?;
+    Ok(csn)
+}

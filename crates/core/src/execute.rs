@@ -1,0 +1,401 @@
+//! The `Execute` primitive (paper Figs. 4/10) and the maintenance context.
+//!
+//! Each propagation query runs as its **own strict-2PL transaction**:
+//! S locks on every base-table slot (acquired in `TableId` order to avoid
+//! deadlocks among maintenance transactions), an X lock on the view delta
+//! table, evaluation, insertion of the timestamped results, commit.
+//! `Execute` returns the commit CSN — the paper's "execution time" — which
+//! is exactly the time at which the base tables were seen, because the S
+//! locks were held through commit.
+//!
+//! Before reading a delta range ending at `t`, the process must wait for
+//! log capture to have ingested every commit ≤ `t` (the paper's prototype
+//! likewise waits for DPropR to catch up, §5). [`CaptureWait`] selects
+//! between stepping capture inline (single-process setups) and blocking on
+//! a background capture driver.
+
+use crate::control::MaterializedView;
+use crate::query::{PropQuery, Slot};
+use crate::stats::PropStats;
+use rolljoin_common::{Csn, Error, Result};
+use rolljoin_relalg::{exec, fetch, SlotSource};
+use rolljoin_storage::{Engine, LockMode};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How maintenance waits for the capture high-water mark to reach a CSN.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub enum CaptureWait {
+    /// Step the capture process inline until it catches up. Right choice
+    /// when no background capture driver is running.
+    #[default]
+    Inline,
+    /// Poll until a background capture driver catches up, giving up after
+    /// the timeout (surfaced as [`Error::Internal`]).
+    Block { poll: Duration, timeout: Duration },
+}
+
+
+/// Outcome of one executed propagation query.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Commit CSN of the query's transaction — the time at which its base
+    /// slots were seen.
+    pub exec_csn: Csn,
+    /// Rows read per slot / rows written.
+    pub stats: exec::ExecStats,
+}
+
+/// Shared context for all maintenance algorithms operating on one view.
+#[derive(Clone)]
+pub struct MaintCtx {
+    pub engine: Engine,
+    pub mv: Arc<MaterializedView>,
+    pub stats: Arc<PropStats>,
+    pub capture_wait: CaptureWait,
+    /// Skip a propagation query (and its entire compensation subtree) when
+    /// its newly-introduced delta slot is empty — every query in the
+    /// subtree contains that same empty slot, so all results are provably
+    /// empty. On by default; experiments that count the *structural*
+    /// number of queries (E5) turn it off.
+    pub skip_empty: bool,
+}
+
+impl MaintCtx {
+    /// Build a context with inline capture.
+    pub fn new(engine: Engine, mv: Arc<MaterializedView>) -> Self {
+        MaintCtx {
+            engine,
+            mv,
+            stats: Arc::new(PropStats::new()),
+            capture_wait: CaptureWait::Inline,
+            skip_empty: true,
+        }
+    }
+
+    /// Use a blocking capture wait (background capture driver running).
+    pub fn with_blocking_capture(mut self, poll: Duration, timeout: Duration) -> Self {
+        self.capture_wait = CaptureWait::Block { poll, timeout };
+        self
+    }
+
+    /// Disable the empty-delta pruning optimization.
+    pub fn without_empty_skip(mut self) -> Self {
+        self.skip_empty = false;
+        self
+    }
+
+    /// Wait until the capture HWM reaches `csn`.
+    pub fn ensure_captured(&self, csn: Csn) -> Result<()> {
+        if csn > self.engine.current_csn() {
+            return Err(Error::Internal(format!(
+                "cannot capture through CSN {csn}: only {} commits exist",
+                self.engine.current_csn()
+            )));
+        }
+        match self.capture_wait {
+            CaptureWait::Inline => {
+                while self.engine.capture_hwm() < csn {
+                    let n = self.engine.capture_step(4096)?;
+                    if n == 0 && self.engine.capture_hwm() < csn {
+                        return Err(Error::Internal(format!(
+                            "capture exhausted the log below CSN {csn}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            CaptureWait::Block { poll, timeout } => {
+                let start = Instant::now();
+                while self.engine.capture_hwm() < csn {
+                    if start.elapsed() > timeout {
+                        return Err(Error::Internal(format!(
+                            "timed out waiting for capture to reach CSN {csn} (hwm {})",
+                            self.engine.capture_hwm()
+                        )));
+                    }
+                    std::thread::sleep(poll);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Fetch all slot row sets of a propagation query within `txn`,
+    /// delta slots first so base slots directly equi-joined to a delta can
+    /// be probed by the delta's key values through a secondary index
+    /// (semi-join pushdown): the transaction then touches rows
+    /// proportional to the *delta*, not the table — what an index on the
+    /// join column buys the paper's DB2 prototype. Callers must already
+    /// hold the base-table locks.
+    pub fn fetch_slots(
+        &self,
+        txn: &mut rolljoin_storage::Txn,
+        q: &PropQuery,
+    ) -> Result<Vec<Vec<rolljoin_common::DeltaRow>>> {
+        let view = &self.mv.view;
+        let n = q.n();
+        let offsets = view.spec.offsets();
+        let slot_of = |col: usize| -> usize {
+            offsets
+                .windows(2)
+                .position(|w| col >= w[0] && col < w[1])
+                .expect("validated column")
+        };
+        let mut slot_rows: Vec<Option<Vec<rolljoin_common::DeltaRow>>> =
+            (0..n).map(|_| None).collect();
+        for (i, slot) in q.slots.iter().enumerate() {
+            if let Slot::Delta(iv) = slot {
+                slot_rows[i] =
+                    Some(fetch(&self.engine, txn, &SlotSource::Delta(view.bases[i], *iv))?);
+            }
+        }
+        for i in 0..n {
+            if slot_rows[i].is_some() {
+                continue;
+            }
+            let base = view.bases[i];
+            let mut source = SlotSource::Base(base);
+            for &(a, b) in &view.spec.equi {
+                let (sa, sb) = (slot_of(a), slot_of(b));
+                let (bcol, dslot, dcol) = if sa == i && q.slots[sb].is_delta() {
+                    (a, sb, b)
+                } else if sb == i && q.slots[sa].is_delta() {
+                    (b, sa, a)
+                } else {
+                    continue;
+                };
+                let local_col = bcol - offsets[i];
+                if !self.engine.has_index(base, local_col)? {
+                    continue;
+                }
+                let drows = slot_rows[dslot].as_ref().expect("deltas fetched first");
+                let dlocal = dcol - offsets[dslot];
+                let keys: Vec<rolljoin_common::Value> = drows
+                    .iter()
+                    .map(|r| r.tuple.get(dlocal).clone())
+                    .filter(|v| !v.is_null())
+                    .collect::<std::collections::HashSet<_>>()
+                    .into_iter()
+                    .collect();
+                // Probing beats scanning only while the key set is small
+                // relative to the table.
+                if keys.len() * 4 >= self.engine.table_distinct(base)?.max(1) {
+                    continue;
+                }
+                source = SlotSource::BaseKeyed {
+                    table: base,
+                    col: local_col,
+                    keys: std::sync::Arc::new(keys),
+                };
+                break;
+            }
+            slot_rows[i] = Some(fetch(&self.engine, txn, &source)?);
+        }
+        Ok(slot_rows
+            .into_iter()
+            .map(|r| r.expect("all fetched"))
+            .collect())
+    }
+
+    /// Execute one propagation query (≥ 1 delta slot) as a transaction and
+    /// insert its results into the view delta table. `sign` scales counts
+    /// (−1 for compensation).
+    pub fn execute(&self, q: &PropQuery, sign: i64) -> Result<ExecOutcome> {
+        let view = &self.mv.view;
+        debug_assert_eq!(q.n(), view.n());
+        let hi = q.max_delta_hi().ok_or_else(|| {
+            Error::Invalid("propagation queries must contain a delta slot".into())
+        })?;
+        self.ensure_captured(hi)?;
+
+        let mut txn = self.engine.begin();
+        // Pre-lock base-table slots in TableId order (deadlock avoidance),
+        // then the view delta table.
+        let mut lock_order: Vec<_> = q
+            .slots
+            .iter()
+            .zip(&view.bases)
+            .filter(|(s, _)| !s.is_delta())
+            .map(|(_, t)| *t)
+            .collect();
+        lock_order.sort();
+        lock_order.dedup();
+        for t in lock_order {
+            txn.lock(t, LockMode::Shared)?;
+        }
+        txn.lock(self.mv.vd_table, LockMode::Exclusive)?;
+
+        let slot_rows = self.fetch_slots(&mut txn, q)?;
+
+        let (rows, stats) = exec::execute(slot_rows, &view.spec, sign)?;
+        let mut written = 0u64;
+        for row in rows {
+            let ts = row.ts.ok_or_else(|| {
+                Error::Internal("propagation result row lost its timestamp".into())
+            })?;
+            if row.count != 0 {
+                txn.vd_insert(self.mv.vd_table, ts, row.count, row.tuple)?;
+                written += 1;
+            }
+        }
+        let exec_csn = txn.commit()?;
+
+        let (mut base_rows, mut delta_rows) = (0u64, 0u64);
+        for (slot, n) in q.slots.iter().zip(&stats.rows_in) {
+            match slot {
+                Slot::Base => base_rows += *n as u64,
+                Slot::Delta(_) => delta_rows += *n as u64,
+            }
+        }
+        self.stats
+            .record_query(q.is_forward() && sign == 1, base_rows, delta_rows, written);
+
+        Ok(ExecOutcome { exec_csn, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ViewDef;
+    use rolljoin_common::{tup, ColumnType, Schema, TimeInterval};
+    use rolljoin_relalg::JoinSpec;
+
+    fn two_table_ctx() -> (MaintCtx, rolljoin_common::TableId, rolljoin_common::TableId) {
+        let e = Engine::new();
+        let r = e
+            .create_table(
+                "r",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        let s = e
+            .create_table(
+                "s",
+                Schema::new([("b", ColumnType::Int), ("c", ColumnType::Int)]),
+            )
+            .unwrap();
+        let view = ViewDef::new(
+            &e,
+            "v",
+            vec![r, s],
+            JoinSpec {
+                slot_schemas: vec![e.schema(r).unwrap(), e.schema(s).unwrap()],
+                equi: vec![(1, 2)],
+                filter: None,
+                projection: vec![0, 3],
+            },
+        )
+        .unwrap();
+        let mv = MaterializedView::register(&e, view).unwrap();
+        (MaintCtx::new(e, mv), r, s)
+    }
+
+    #[test]
+    fn forward_query_writes_timestamped_vd_rows() {
+        let (ctx, r, s) = two_table_ctx();
+        let e = &ctx.engine;
+        let mut w = e.begin();
+        w.insert(s, tup![10, 100]).unwrap();
+        w.commit().unwrap();
+        let mut w = e.begin();
+        w.insert(r, tup![1, 10]).unwrap();
+        let c2 = w.commit().unwrap();
+
+        // Forward query ΔR ⋈ S over (0, c2].
+        let q = PropQuery::all_base(2).with_delta(0, TimeInterval::new(0, c2));
+        let out = ctx.execute(&q, 1).unwrap();
+        assert!(out.exec_csn > c2);
+        let rows = e.vd_range(ctx.mv.vd_table, TimeInterval::new(0, c2)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tuple, tup![1, 100]);
+        assert_eq!(rows[0].ts, Some(c2), "timestamp from the delta side");
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.forward_queries, 1);
+        assert_eq!(snap.vd_rows_written, 1);
+    }
+
+    #[test]
+    fn execute_requires_a_delta_slot() {
+        let (ctx, _r, _s) = two_table_ctx();
+        let q = PropQuery::all_base(2);
+        assert!(ctx.execute(&q, 1).is_err());
+    }
+
+    #[test]
+    fn ensure_captured_rejects_future_csns() {
+        let (ctx, _r, _s) = two_table_ctx();
+        assert!(ctx.ensure_captured(99).is_err());
+    }
+
+    #[test]
+    fn pushdown_probes_indexed_base_slots() {
+        let (ctx, r, s) = two_table_ctx();
+        let e = &ctx.engine;
+        e.create_index(s, 0).unwrap();
+        // 1000 s-rows, one r-row: the forward query ΔR ⋈ S should probe S
+        // by ΔR's join keys instead of scanning it.
+        let mut w = e.begin();
+        for i in 0..1000i64 {
+            w.insert(s, tup![i, i]).unwrap();
+        }
+        w.commit().unwrap();
+        let mut w = e.begin();
+        w.insert(r, tup![1, 77]).unwrap();
+        let c = w.commit().unwrap();
+        let q = PropQuery::all_base(2).with_delta(0, TimeInterval::new(c - 1, c));
+        let out = ctx.execute(&q, 1).unwrap();
+        assert_eq!(out.stats.rows_in, vec![1, 1], "probed, not scanned");
+        assert_eq!(out.stats.rows_out, 1);
+        let rows = e.vd_range(ctx.mv.vd_table, TimeInterval::new(0, c)).unwrap();
+        assert_eq!(rows[0].tuple, tup![1, 77]);
+    }
+
+    #[test]
+    fn pushdown_falls_back_without_index_or_with_wide_keys() {
+        let (ctx, r, s) = two_table_ctx();
+        let e = &ctx.engine;
+        // No index: full scan of the S side.
+        let mut w = e.begin();
+        for i in 0..50i64 {
+            w.insert(s, tup![i, i]).unwrap();
+        }
+        w.insert(r, tup![1, 7]).unwrap();
+        let c = w.commit().unwrap();
+        let q = PropQuery::all_base(2).with_delta(0, TimeInterval::new(0, c));
+        let out = ctx.execute(&q, 1).unwrap();
+        assert_eq!(out.stats.rows_in[1], 50, "no index → scan");
+        // With an index but keys covering most of the table, the planner
+        // heuristic also scans.
+        e.create_index(s, 0).unwrap();
+        let mut w = e.begin();
+        for i in 0..60i64 {
+            w.insert(r, tup![100 + i, i % 50]).unwrap();
+        }
+        let c2 = w.commit().unwrap();
+        let q = PropQuery::all_base(2).with_delta(0, TimeInterval::new(c, c2));
+        let out = ctx.execute(&q, 1).unwrap();
+        assert_eq!(out.stats.rows_in[1], 50, "wide key set → scan");
+    }
+
+    #[test]
+    fn compensation_sign_negates_counts() {
+        let (ctx, r, s) = two_table_ctx();
+        let e = &ctx.engine;
+        let mut w = e.begin();
+        w.insert(r, tup![1, 10]).unwrap();
+        w.insert(s, tup![10, 100]).unwrap();
+        let c = w.commit().unwrap();
+        // All-delta compensation over (0, c] with sign −1.
+        let q = PropQuery::all_base(2)
+            .with_delta(0, TimeInterval::new(0, c))
+            .with_delta(1, TimeInterval::new(0, c));
+        ctx.execute(&q, -1).unwrap();
+        let rows = e.vd_range(ctx.mv.vd_table, TimeInterval::new(0, c)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, -1);
+        assert_eq!(ctx.stats.snapshot().comp_queries, 1);
+    }
+}

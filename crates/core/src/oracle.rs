@@ -1,0 +1,64 @@
+//! Ground-truth oracles.
+//!
+//! The correctness statements of paper §4 are phrased with the net-effect
+//! operator `φ` and view states `V_t`. These helpers compute both so tests
+//! and experiments can check Definition 4.2 (timed delta table) directly:
+//!
+//! ```text
+//! φ(σ_{a,b}(Δ) + V_a) = φ(V_b)      for all  mat ≤ a < b ≤ HWM
+//! ```
+//!
+//! The oracle reconstructs `V_t` by time-travelling every base table to `t`
+//! (possible only because our substrate keeps full delta history — the
+//! maintenance algorithms themselves never do this).
+
+use crate::control::MaterializedView;
+use crate::view::ViewDef;
+use rolljoin_common::{Csn, Result, TimeInterval};
+use rolljoin_relalg::{exec, fetch, net_effect, NetEffect, SlotSource};
+use rolljoin_storage::Engine;
+
+/// `φ(V_t)`: the view's state at time `t`, recomputed from scratch.
+/// Requires the capture HWM ≥ `t`.
+pub fn view_at(engine: &Engine, view: &ViewDef, t: Csn) -> Result<NetEffect> {
+    let mut txn = engine.begin();
+    let mut slot_rows = Vec::with_capacity(view.n());
+    for base in &view.bases {
+        slot_rows.push(fetch(engine, &mut txn, &SlotSource::AsOf(*base, t))?);
+    }
+    let (rows, _) = exec::execute(slot_rows, &view.spec, 1)?;
+    txn.commit()?;
+    Ok(net_effect(rows))
+}
+
+/// `φ` of the current materialized rows of the MV table.
+pub fn mv_state(engine: &Engine, mv: &MaterializedView) -> Result<NetEffect> {
+    let mut txn = engine.begin();
+    let counts = txn.scan_counts(mv.mv_table)?;
+    txn.commit()?;
+    Ok(counts.into_iter().collect())
+}
+
+/// Check Definition 4.2 for the view delta over `(a, b]`:
+/// `φ(σ_{a,b}(VD) + V_a) == φ(V_b)`. Returns the two sides for diagnostics.
+pub fn check_timed_delta(
+    engine: &Engine,
+    mv: &MaterializedView,
+    a: Csn,
+    b: Csn,
+) -> Result<(NetEffect, NetEffect)> {
+    let v_a = view_at(engine, &mv.view, a)?;
+    let v_b = view_at(engine, &mv.view, b)?;
+    let delta: NetEffect = engine
+        .vd_net_range(mv.vd_table, TimeInterval::new(a, b))?
+        .into_iter()
+        .collect();
+    let lhs = rolljoin_relalg::add(&delta, &v_a);
+    Ok((lhs, v_b))
+}
+
+/// Assert-style wrapper for tests: true iff Definition 4.2 holds on `(a,b]`.
+pub fn timed_delta_holds(engine: &Engine, mv: &MaterializedView, a: Csn, b: Csn) -> Result<bool> {
+    let (lhs, rhs) = check_timed_delta(engine, mv, a, b)?;
+    Ok(lhs == rhs)
+}

@@ -1,0 +1,140 @@
+//! Maintenance statistics.
+//!
+//! Every propagation query reports what it read and wrote; the experiment
+//! harness compares algorithms (Propagate vs. RollingPropagate vs. the
+//! synchronous baselines) by these counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated by a propagation process.
+#[derive(Default)]
+pub struct PropStats {
+    /// Forward queries executed (exactly one delta slot, sign +1, issued
+    /// directly by `Propagate`/`RollingPropagate`).
+    pub forward_queries: AtomicU64,
+    /// Compensation queries executed (issued by `ComputeDelta` recursion or
+    /// the rolling compensation loop).
+    pub comp_queries: AtomicU64,
+    /// Rows fetched from base-table slots.
+    pub base_rows_read: AtomicU64,
+    /// Rows fetched from delta-range slots.
+    pub delta_rows_read: AtomicU64,
+    /// Rows written into the view delta table.
+    pub vd_rows_written: AtomicU64,
+    /// Total propagation transactions committed.
+    pub transactions: AtomicU64,
+    /// Largest number of rows read by any single propagation transaction —
+    /// the per-transaction "size" the interval knob controls (paper §3.3).
+    pub max_txn_rows: AtomicU64,
+}
+
+/// A point-in-time copy of [`PropStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropStatsSnapshot {
+    pub forward_queries: u64,
+    pub comp_queries: u64,
+    pub base_rows_read: u64,
+    pub delta_rows_read: u64,
+    pub vd_rows_written: u64,
+    pub transactions: u64,
+    pub max_txn_rows: u64,
+}
+
+impl PropStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_query(
+        &self,
+        is_forward: bool,
+        base_rows: u64,
+        delta_rows: u64,
+        rows_out: u64,
+    ) {
+        if is_forward {
+            self.forward_queries.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.comp_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.base_rows_read.fetch_add(base_rows, Ordering::Relaxed);
+        self.delta_rows_read
+            .fetch_add(delta_rows, Ordering::Relaxed);
+        self.vd_rows_written.fetch_add(rows_out, Ordering::Relaxed);
+        self.transactions.fetch_add(1, Ordering::Relaxed);
+        self.max_txn_rows
+            .fetch_max(base_rows + delta_rows, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> PropStatsSnapshot {
+        PropStatsSnapshot {
+            forward_queries: self.forward_queries.load(Ordering::Relaxed),
+            comp_queries: self.comp_queries.load(Ordering::Relaxed),
+            base_rows_read: self.base_rows_read.load(Ordering::Relaxed),
+            delta_rows_read: self.delta_rows_read.load(Ordering::Relaxed),
+            vd_rows_written: self.vd_rows_written.load(Ordering::Relaxed),
+            transactions: self.transactions.load(Ordering::Relaxed),
+            max_txn_rows: self.max_txn_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl PropStatsSnapshot {
+    /// Total queries of both kinds.
+    pub fn total_queries(&self) -> u64 {
+        self.forward_queries + self.comp_queries
+    }
+
+    /// Total rows read from any slot.
+    pub fn total_rows_read(&self) -> u64 {
+        self.base_rows_read + self.delta_rows_read
+    }
+
+    /// Difference of two snapshots (self − earlier).
+    pub fn since(&self, earlier: &PropStatsSnapshot) -> PropStatsSnapshot {
+        PropStatsSnapshot {
+            forward_queries: self.forward_queries - earlier.forward_queries,
+            comp_queries: self.comp_queries - earlier.comp_queries,
+            base_rows_read: self.base_rows_read - earlier.base_rows_read,
+            delta_rows_read: self.delta_rows_read - earlier.delta_rows_read,
+            vd_rows_written: self.vd_rows_written - earlier.vd_rows_written,
+            transactions: self.transactions - earlier.transactions,
+            max_txn_rows: self.max_txn_rows, // high-water, not differenced
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let s = PropStats::new();
+        s.record_query(true, 10, 5, 3);
+        s.record_query(false, 0, 7, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.forward_queries, 1);
+        assert_eq!(snap.comp_queries, 1);
+        assert_eq!(snap.total_queries(), 2);
+        assert_eq!(snap.base_rows_read, 10);
+        assert_eq!(snap.delta_rows_read, 12);
+        assert_eq!(snap.total_rows_read(), 22);
+        assert_eq!(snap.vd_rows_written, 5);
+        assert_eq!(snap.transactions, 2);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = PropStats::new();
+        s.record_query(true, 1, 1, 1);
+        let a = s.snapshot();
+        s.record_query(false, 2, 2, 2);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.comp_queries, 1);
+        assert_eq!(d.forward_queries, 0);
+        assert_eq!(d.base_rows_read, 2);
+    }
+}

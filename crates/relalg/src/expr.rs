@@ -1,0 +1,289 @@
+//! Scalar expressions over tuples.
+//!
+//! Selection conditions for propagation queries are expressions over the
+//! *global column space* of a join (the concatenation of the slot schemas).
+//! Per paper §4, selection conditions must not involve the count or
+//! timestamp attributes — this is enforced structurally: expressions can
+//! only reference columns.
+
+use rolljoin_common::{Tuple, Value};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators (integer/float).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Mod,
+}
+
+/// A scalar expression evaluated against one (joined) tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference (index into the global column space).
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Comparison; NULL operands yield SQL-unknown, which selection treats
+    /// as false.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation (three-valued: NOT unknown = unknown).
+    Not(Box<Expr>),
+    /// Arithmetic on Int/Float.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// IS NULL test.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// `Expr::col(i)` — column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Eq, Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Lt, Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Le, Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Gt, Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ge, Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Evaluate to a value. Arithmetic on NULL yields NULL.
+    pub fn eval(&self, tuple: &Tuple) -> Value {
+        match self {
+            Expr::Col(i) => tuple[*i].clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(l, op, r) => {
+                let lv = l.eval(tuple);
+                let rv = r.eval(tuple);
+                match lv.sql_cmp(&rv) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match op {
+                        CmpOp::Eq => ord.is_eq(),
+                        CmpOp::Ne => ord.is_ne(),
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Ge => ord.is_ge(),
+                    }),
+                }
+            }
+            Expr::And(l, r) => match (l.eval(tuple), r.eval(tuple)) {
+                (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+                (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                _ => Value::Null,
+            },
+            Expr::Or(l, r) => match (l.eval(tuple), r.eval(tuple)) {
+                (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
+                (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
+            Expr::Not(e) => match e.eval(tuple) {
+                Value::Bool(b) => Value::Bool(!b),
+                _ => Value::Null,
+            },
+            Expr::Arith(l, op, r) => {
+                let lv = l.eval(tuple);
+                let rv = r.eval(tuple);
+                match (lv, rv) {
+                    (Value::Int(a), Value::Int(b)) => match op {
+                        ArithOp::Add => Value::Int(a.wrapping_add(b)),
+                        ArithOp::Sub => Value::Int(a.wrapping_sub(b)),
+                        ArithOp::Mul => Value::Int(a.wrapping_mul(b)),
+                        ArithOp::Mod => {
+                            if b == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int(a.rem_euclid(b))
+                            }
+                        }
+                    },
+                    (Value::Float(a), Value::Float(b)) => match op {
+                        ArithOp::Add => Value::Float(a + b),
+                        ArithOp::Sub => Value::Float(a - b),
+                        ArithOp::Mul => Value::Float(a * b),
+                        ArithOp::Mod => Value::Float(a % b),
+                    },
+                    _ => Value::Null,
+                }
+            }
+            Expr::IsNull(e) => Value::Bool(e.eval(tuple).is_null()),
+        }
+    }
+
+    /// Evaluate as a selection predicate: SQL-unknown is *not selected*.
+    pub fn eval_bool(&self, tuple: &Tuple) -> bool {
+        matches!(self.eval(tuple), Value::Bool(true))
+    }
+
+    /// Shift every column reference by `offset` (used when an expression
+    /// written against one slot's schema is placed into the global column
+    /// space of a join).
+    pub fn shift_cols(&self, offset: usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(i + offset),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(l, op, r) => Expr::Cmp(
+                Box::new(l.shift_cols(offset)),
+                *op,
+                Box::new(r.shift_cols(offset)),
+            ),
+            Expr::And(l, r) => Expr::And(
+                Box::new(l.shift_cols(offset)),
+                Box::new(r.shift_cols(offset)),
+            ),
+            Expr::Or(l, r) => Expr::Or(
+                Box::new(l.shift_cols(offset)),
+                Box::new(r.shift_cols(offset)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.shift_cols(offset))),
+            Expr::Arith(l, op, r) => Expr::Arith(
+                Box::new(l.shift_cols(offset)),
+                *op,
+                Box::new(r.shift_cols(offset)),
+            ),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.shift_cols(offset))),
+        }
+    }
+
+    /// Highest column index referenced, if any (for validation).
+    pub fn max_col(&self) -> Option<usize> {
+        match self {
+            Expr::Col(i) => Some(*i),
+            Expr::Lit(_) => None,
+            Expr::Cmp(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(l, _, r) => {
+                match (l.max_col(), r.max_col()) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.max_col(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolljoin_common::tup;
+
+    #[test]
+    fn comparisons() {
+        let t = tup![3, 5];
+        assert!(Expr::col(0).lt(Expr::col(1)).eval_bool(&t));
+        assert!(!Expr::col(0).eq(Expr::col(1)).eval_bool(&t));
+        assert!(Expr::col(0).le(Expr::lit(3)).eval_bool(&t));
+        assert!(Expr::col(1).ge(Expr::lit(5)).eval_bool(&t));
+        assert!(Expr::col(1).gt(Expr::lit(4)).eval_bool(&t));
+    }
+
+    #[test]
+    fn null_propagates_and_predicate_rejects_unknown() {
+        let t = tup![Value::Null, 5];
+        let p = Expr::col(0).eq(Expr::lit(5));
+        assert_eq!(p.eval(&t), Value::Null);
+        assert!(!p.eval_bool(&t));
+        assert!(!p.clone().not().eval_bool(&t), "NOT unknown is unknown");
+        assert!(Expr::IsNull(Box::new(Expr::col(0))).eval_bool(&t));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = tup![Value::Null];
+        let unknown = Expr::col(0).eq(Expr::lit(1));
+        let tru = Expr::lit(1).eq(Expr::lit(1));
+        let fls = Expr::lit(1).eq(Expr::lit(2));
+        assert_eq!(unknown.clone().and(fls.clone()).eval(&t), Value::Bool(false));
+        assert_eq!(unknown.clone().and(tru.clone()).eval(&t), Value::Null);
+        assert_eq!(unknown.clone().or(tru).eval(&t), Value::Bool(true));
+        assert_eq!(unknown.or(fls).eval(&t), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = tup![7, 3];
+        let modexp = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Mod, Box::new(Expr::col(1)));
+        assert_eq!(modexp.eval(&t), Value::Int(1));
+        let div0 = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Mod, Box::new(Expr::lit(0)));
+        assert_eq!(div0.eval(&t), Value::Null);
+        let add = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Add, Box::new(Expr::col(1)));
+        assert_eq!(add.eval(&t), Value::Int(10));
+    }
+
+    #[test]
+    fn shift_and_max_col() {
+        let e = Expr::col(1).eq(Expr::col(3)).and(Expr::col(0).lt(Expr::lit(9)));
+        assert_eq!(e.max_col(), Some(3));
+        let s = e.shift_cols(10);
+        assert_eq!(s.max_col(), Some(13));
+    }
+}

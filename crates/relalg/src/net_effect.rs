@@ -1,0 +1,132 @@
+//! The net-effect operator `φ` (paper Definition 4.1) and multiset-table
+//! algebra helpers.
+//!
+//! `φ(R)` groups a delta table on all attributes except count and
+//! timestamp, sums counts within each group, nulls the timestamps, and
+//! drops zero-count groups. It is the canonicalization that makes two
+//! representations of the same change comparable, and it is the vocabulary
+//! of every correctness statement in the paper (Definition 4.2, Lemmas
+//! 4.1–4.2, Theorems 4.1–4.3) — so it is also the vocabulary of this
+//! reproduction's oracles and property tests.
+
+use rolljoin_common::{DeltaRow, Tuple};
+use std::collections::BTreeMap;
+
+/// Canonical net effect: `tuple → summed count`, zero counts dropped.
+///
+/// A `BTreeMap` so two net effects compare (and print) deterministically.
+pub type NetEffect = BTreeMap<Tuple, i64>;
+
+/// `φ(R)` over an iterator of delta rows.
+pub fn net_effect<I>(rows: I) -> NetEffect
+where
+    I: IntoIterator<Item = DeltaRow>,
+{
+    let mut out = NetEffect::new();
+    for row in rows {
+        let e = out.entry(row.tuple).or_insert(0);
+        *e += row.count;
+        // Defer zero-removal to the end: intermediate zeros may be revived.
+    }
+    out.retain(|_, c| *c != 0);
+    out
+}
+
+/// `φ` over borrowed rows.
+pub fn net_effect_ref<'a, I>(rows: I) -> NetEffect
+where
+    I: IntoIterator<Item = &'a DeltaRow>,
+{
+    net_effect(rows.into_iter().cloned())
+}
+
+/// Multiset union `R + S` on canonical forms: counts add, zeros drop.
+pub fn add(a: &NetEffect, b: &NetEffect) -> NetEffect {
+    let mut out = a.clone();
+    for (t, c) in b {
+        let e = out.entry(t.clone()).or_insert(0);
+        *e += c;
+        if *e == 0 {
+            out.remove(t);
+        }
+    }
+    out
+}
+
+/// Negation `-R` on canonical form.
+pub fn negate(a: &NetEffect) -> NetEffect {
+    a.iter().map(|(t, c)| (t.clone(), -c)).collect()
+}
+
+/// Render a canonical form back into delta rows (null timestamps).
+pub fn to_rows(a: &NetEffect) -> Vec<DeltaRow> {
+    a.iter()
+        .map(|(t, c)| DeltaRow {
+            ts: None,
+            count: *c,
+            tuple: t.clone(),
+        })
+        .collect()
+}
+
+/// True iff the net effect describes a legal multiset (no negative counts)
+/// — the state of a real table must satisfy this.
+pub fn is_multiset(a: &NetEffect) -> bool {
+    a.values().all(|c| *c > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolljoin_common::tup;
+
+    fn rows(spec: &[(i64, i64)]) -> Vec<DeltaRow> {
+        // (count, key) pairs at arbitrary timestamps.
+        spec.iter()
+            .enumerate()
+            .map(|(i, (c, k))| DeltaRow::change(i as u64 + 1, *c, tup![*k]))
+            .collect()
+    }
+
+    #[test]
+    fn groups_sums_and_drops_zeros() {
+        let r = rows(&[(1, 10), (2, 10), (-3, 10), (1, 20)]);
+        let n = net_effect(r);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[&tup![20]], 1);
+    }
+
+    #[test]
+    fn idempotent() {
+        // φ(φ(R)) = φ(R)
+        let r = rows(&[(2, 1), (-1, 1), (4, 2)]);
+        let once = net_effect(r);
+        let twice = net_effect(to_rows(&once));
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn distributes_over_union() {
+        // φ(R + S) = φ(φ(R) + φ(S))
+        let r = rows(&[(1, 1), (1, 2), (-1, 3)]);
+        let s = rows(&[(-1, 1), (2, 3), (5, 4)]);
+        let both: Vec<_> = r.iter().chain(s.iter()).cloned().collect();
+        let lhs = net_effect(both);
+        let rhs = add(&net_effect(r), &net_effect(s));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn negation_is_involutive_and_cancels() {
+        let n = net_effect(rows(&[(2, 1), (1, 2)]));
+        assert_eq!(negate(&negate(&n)), n);
+        assert!(add(&n, &negate(&n)).is_empty());
+    }
+
+    #[test]
+    fn multiset_check() {
+        assert!(is_multiset(&net_effect(rows(&[(1, 1)]))));
+        assert!(!is_multiset(&net_effect(rows(&[(-1, 1)]))));
+        assert!(is_multiset(&NetEffect::new()));
+    }
+}

@@ -1,0 +1,151 @@
+//! Slot sources: where a propagation query's slots read their rows.
+//!
+//! A slot is bound to either the **base table** (read transactionally at
+//! the query's execution time, under an S lock held to commit so "seen at
+//! the commit time" is literally true), a **delta range** `R_{a,b}` (an
+//! immutable, capture-complete slice — no lock needed), or, for oracles and
+//! the paper's unrealizable Equation 2 baseline only, a **time-travel**
+//! snapshot `R_a` reconstructed from the delta history.
+
+use rolljoin_common::{Csn, DeltaRow, Result, TableId, TimeInterval, Value};
+use rolljoin_storage::{Engine, Txn};
+use std::sync::Arc;
+
+/// Binding of one join slot to a row source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotSource {
+    /// The base table at the executing transaction's time (`R^i`).
+    Base(TableId),
+    /// The delta range `R^i_{a,b}` — `σ_{a,b}(Δ^{R^i})`.
+    Delta(TableId, TimeInterval),
+    /// Snapshot `R^i_a` via time travel (oracle / Eq. 2 only).
+    AsOf(TableId, Csn),
+    /// The base table restricted by an index probe: only rows whose `col`
+    /// matches one of `keys` — a semi-join pushdown from a delta slot,
+    /// sound because every join result must match the delta side on the
+    /// equi column. This is what makes maintenance-transaction size track
+    /// the delta size instead of the table size.
+    BaseKeyed {
+        table: TableId,
+        col: usize,
+        keys: Arc<Vec<Value>>,
+    },
+}
+
+impl std::fmt::Display for SlotSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotSource::Base(t) => write!(f, "{t}"),
+            SlotSource::BaseKeyed { table, col, keys } => {
+                write!(f, "{table}[col{col}∈{} keys]", keys.len())
+            }
+            SlotSource::Delta(t, iv) => write!(f, "Δ{t}{iv}"),
+            SlotSource::AsOf(t, c) => write!(f, "{t}@{c}"),
+        }
+    }
+}
+
+/// Fetch the rows of one slot. Base reads go through `txn` (acquiring the
+/// S lock); delta/as-of reads are lock-free against immutable history.
+pub fn fetch(engine: &Engine, txn: &mut Txn, source: &SlotSource) -> Result<Vec<DeltaRow>> {
+    match source {
+        SlotSource::Base(table) => {
+            let counts = txn.scan_counts(*table)?;
+            Ok(counts
+                .into_iter()
+                .map(|(tuple, count)| DeltaRow {
+                    ts: None,
+                    count,
+                    tuple,
+                })
+                .collect())
+        }
+        SlotSource::Delta(table, interval) => engine.delta_range(*table, *interval),
+        SlotSource::AsOf(table, csn) => {
+            let counts = engine.scan_asof(*table, *csn)?;
+            Ok(counts
+                .into_iter()
+                .map(|(tuple, count)| DeltaRow {
+                    ts: None,
+                    count,
+                    tuple,
+                })
+                .collect())
+        }
+        SlotSource::BaseKeyed { table, col, keys } => {
+            let hits = txn.lookup_keys(*table, *col, keys)?;
+            Ok(hits
+                .into_iter()
+                .map(|(tuple, count)| DeltaRow {
+                    ts: None,
+                    count,
+                    tuple,
+                })
+                .collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolljoin_common::{tup, ColumnType, Schema};
+
+    fn engine() -> (Engine, TableId) {
+        let e = Engine::new();
+        let t = e
+            .create_table("r", Schema::new([("a", ColumnType::Int)]))
+            .unwrap();
+        (e, t)
+    }
+
+    #[test]
+    fn base_fetch_compresses_duplicates() {
+        let (e, t) = engine();
+        let mut w = e.begin();
+        w.insert(t, tup![1]).unwrap();
+        w.insert(t, tup![1]).unwrap();
+        w.insert(t, tup![2]).unwrap();
+        w.commit().unwrap();
+        let mut txn = e.begin();
+        let rows = fetch(&e, &mut txn, &SlotSource::Base(t)).unwrap();
+        assert_eq!(rows.len(), 2);
+        let one = rows.iter().find(|r| r.tuple == tup![1]).unwrap();
+        assert_eq!(one.count, 2);
+        assert_eq!(one.ts, None);
+    }
+
+    #[test]
+    fn delta_fetch_respects_interval() {
+        let (e, t) = engine();
+        let mut w = e.begin();
+        w.insert(t, tup![1]).unwrap();
+        let c1 = w.commit().unwrap();
+        let mut w = e.begin();
+        w.delete_one(t, &tup![1]).unwrap();
+        let c2 = w.commit().unwrap();
+        e.capture_catch_up().unwrap();
+        let mut txn = e.begin();
+        let rows = fetch(&e, &mut txn, &SlotSource::Delta(t, TimeInterval::new(c1, c2))).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, -1);
+    }
+
+    #[test]
+    fn asof_fetch_time_travels() {
+        let (e, t) = engine();
+        let mut w = e.begin();
+        w.insert(t, tup![1]).unwrap();
+        let c1 = w.commit().unwrap();
+        let mut w = e.begin();
+        w.delete_one(t, &tup![1]).unwrap();
+        w.commit().unwrap();
+        e.capture_catch_up().unwrap();
+        let mut txn = e.begin();
+        let rows = fetch(&e, &mut txn, &SlotSource::AsOf(t, c1)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 1);
+        let rows = fetch(&e, &mut txn, &SlotSource::AsOf(t, 0)).unwrap();
+        assert!(rows.is_empty());
+    }
+}

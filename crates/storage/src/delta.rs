@@ -1,0 +1,374 @@
+//! Delta stores.
+//!
+//! [`DeltaStore`] is the base-table delta `Δ^R` of paper §2: an append-only
+//! sequence of `(timestamp, count, tuple)` change records in commit (CSN)
+//! order, populated exclusively by the log-capture process. Because records
+//! arrive in CSN order, the paper's `σ_{a,b}` timestamp selection is a
+//! binary-search slice, and reading any range at or below the capture
+//! high-water mark needs no locks (the range is immutable).
+//!
+//! [`ViewDeltaStore`] holds a **view** delta. Unlike base deltas, view-delta
+//! tuples arrive *out of timestamp order* (asynchronous propagation inserts
+//! compensations for old timestamps after newer forward results), so it is
+//! keyed by timestamp in a B-tree. Inserts are transactional: the engine
+//! records undo positions so an aborted propagation transaction leaves no
+//! trace.
+
+use parking_lot::RwLock;
+use rolljoin_common::{Csn, DeltaRow, Error, Result, TableId, TimeInterval, Tuple};
+use std::collections::{BTreeMap, HashMap};
+
+/// Snapshot that replaces pruned history: the table's multiset state as
+/// of `through`.
+#[derive(Default)]
+struct DeltaBase {
+    through: Csn,
+    counts: HashMap<Tuple, i64>,
+}
+
+/// Append-only, CSN-ordered base-table delta (`Δ^R`).
+pub struct DeltaStore {
+    table: TableId,
+    rows: RwLock<Vec<DeltaRow>>,
+    base: RwLock<DeltaBase>,
+}
+
+impl DeltaStore {
+    pub fn new(table: TableId) -> Self {
+        DeltaStore {
+            table,
+            rows: RwLock::new(Vec::new()),
+            base: RwLock::new(DeltaBase::default()),
+        }
+    }
+
+    /// History at or below this CSN has been folded into a snapshot:
+    /// `range`/`reconstruct_at` below it are unavailable.
+    pub fn pruned_through(&self) -> Csn {
+        self.base.read().through
+    }
+
+    /// Fold all change records with timestamp ≤ `through` into the base
+    /// snapshot, reclaiming their space. Returns the number of records
+    /// folded. Maintenance must no longer need ranges starting below
+    /// `through` (i.e. every propagation frontier has passed it).
+    pub fn prune_through(&self, through: Csn) -> usize {
+        let mut rows = self.rows.write();
+        let mut base = self.base.write();
+        let hi = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= through);
+        for r in rows.drain(..hi) {
+            *base.counts.entry(r.tuple).or_insert(0) += r.count;
+        }
+        base.counts.retain(|_, c| *c != 0);
+        base.through = base.through.max(through);
+        hi
+    }
+
+    /// The base table this delta describes.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Append the changes of one committed transaction. `ts` must be
+    /// non-decreasing across calls (capture processes commits in order).
+    pub fn append_commit(&self, ts: Csn, changes: impl IntoIterator<Item = (i64, Tuple)>) {
+        let mut rows = self.rows.write();
+        debug_assert!(
+            rows.last().and_then(|r| r.ts).is_none_or(|last| last <= ts),
+            "delta rows must be appended in CSN order"
+        );
+        for (count, tuple) in changes {
+            rows.push(DeltaRow::change(ts, count, tuple));
+        }
+    }
+
+    /// `σ_{a,b}(Δ^R)`: all change records with timestamp in `(a, b]`.
+    pub fn range(&self, interval: TimeInterval) -> Vec<DeltaRow> {
+        let rows = self.rows.read();
+        let lo = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= interval.lo);
+        let hi = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= interval.hi);
+        rows[lo..hi].to_vec()
+    }
+
+    /// Number of change records with timestamp in `(a, b]` (cheap; used by
+    /// adaptive interval policies).
+    pub fn count_in(&self, interval: TimeInterval) -> usize {
+        let rows = self.rows.read();
+        let lo = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= interval.lo);
+        let hi = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= interval.hi);
+        hi - lo
+    }
+
+    /// Timestamp of the latest captured change (not the capture HWM — a
+    /// quiet table's delta can trail the HWM arbitrarily).
+    pub fn last_ts(&self) -> Option<Csn> {
+        self.rows.read().last().and_then(|r| r.ts)
+    }
+
+    /// Timestamp of the `k`-th change record (1-based) strictly after `t`,
+    /// if that many exist. Adaptive interval policies use this to size a
+    /// propagation interval to a target number of delta rows.
+    pub fn nth_ts_after(&self, t: Csn, k: usize) -> Option<Csn> {
+        if k == 0 {
+            return None;
+        }
+        let rows = self.rows.read();
+        let lo = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= t);
+        rows.get(lo + k - 1).map(|r| r.ts.expect("timestamped"))
+    }
+
+    /// Total number of change records held.
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstruct the base table's multiset state at time `t` by
+    /// net-effecting `σ_{0,t}(Δ^R)` (Definition 4.1 applied from the empty
+    /// table). This is the time-travel primitive used by the test oracle
+    /// and by the (paper-acknowledged-unrealizable) Equation 2 baseline —
+    /// the rolling algorithms themselves never need it.
+    pub fn reconstruct_at(&self, t: Csn) -> Result<HashMap<Tuple, i64>> {
+        let rows = self.rows.read();
+        let base = self.base.read();
+        if t < base.through {
+            return Err(Error::HistoryPruned {
+                table: self.table,
+                requested: t,
+                pruned_through: base.through,
+            });
+        }
+        let hi = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= t);
+        let mut out: HashMap<Tuple, i64> = base.counts.clone();
+        for r in &rows[..hi] {
+            let e = out.entry(r.tuple.clone()).or_insert(0);
+            *e += r.count;
+            if *e == 0 {
+                out.remove(&r.tuple);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A view delta table, keyed by timestamp.
+pub struct ViewDeltaStore {
+    table: TableId,
+    rows: RwLock<BTreeMap<Csn, Vec<(i64, Tuple)>>>,
+}
+
+/// Undo handle for transactional view-delta inserts: positions to truncate
+/// on abort.
+#[derive(Debug, Clone, Copy)]
+pub struct VdUndo {
+    pub ts: Csn,
+    pub index: usize,
+}
+
+impl ViewDeltaStore {
+    pub fn new(table: TableId) -> Self {
+        ViewDeltaStore {
+            table,
+            rows: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Insert one view-delta record; returns an undo handle.
+    pub fn insert(&self, ts: Csn, count: i64, tuple: Tuple) -> VdUndo {
+        let mut rows = self.rows.write();
+        let bucket = rows.entry(ts).or_default();
+        bucket.push((count, tuple));
+        VdUndo {
+            ts,
+            index: bucket.len() - 1,
+        }
+    }
+
+    /// Remove a record previously inserted (abort path). Undos must be
+    /// applied in reverse insertion order.
+    pub fn undo(&self, u: VdUndo) -> Result<()> {
+        let mut rows = self.rows.write();
+        let bucket = rows
+            .get_mut(&u.ts)
+            .ok_or_else(|| Error::Internal(format!("vd undo: no bucket at ts {}", u.ts)))?;
+        if bucket.len() != u.index + 1 {
+            return Err(Error::Internal(
+                "vd undo applied out of order".to_string(),
+            ));
+        }
+        bucket.pop();
+        if bucket.is_empty() {
+            rows.remove(&u.ts);
+        }
+        Ok(())
+    }
+
+    /// `σ_{a,b}` over the view delta: records with timestamp in `(a, b]`,
+    /// as [`DeltaRow`]s.
+    pub fn range(&self, interval: TimeInterval) -> Vec<DeltaRow> {
+        let rows = self.rows.read();
+        let mut out = Vec::new();
+        for (&ts, bucket) in
+            rows.range((std::ops::Bound::Excluded(interval.lo), std::ops::Bound::Included(interval.hi)))
+        {
+            out.extend(
+                bucket
+                    .iter()
+                    .map(|(count, tuple)| DeltaRow::change(ts, *count, tuple.clone())),
+            );
+        }
+        out
+    }
+
+    /// Net effect `φ(σ_{a,b}(VD))`: tuple → summed count, zeros dropped.
+    /// This is what the apply process installs into the materialized view.
+    pub fn net_range(&self, interval: TimeInterval) -> HashMap<Tuple, i64> {
+        let mut out: HashMap<Tuple, i64> = HashMap::new();
+        for row in self.range(interval) {
+            let e = out.entry(row.tuple).or_insert(0);
+            *e += row.count;
+        }
+        out.retain(|_, c| *c != 0);
+        out
+    }
+
+    /// Drop all records with timestamp ≤ `t` (space reclamation after the
+    /// view has been rolled past them).
+    pub fn prune_through(&self, t: Csn) -> usize {
+        let mut rows = self.rows.write();
+        let keep = rows.split_off(&(t + 1));
+        let dropped = rows.values().map(Vec::len).sum();
+        *rows = keep;
+        dropped
+    }
+
+    /// Total records held.
+    pub fn len(&self) -> usize {
+        self.rows.read().values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolljoin_common::tup;
+
+    #[test]
+    fn delta_store_range_is_half_open() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![10])]);
+        d.append_commit(3, [(1, tup![30]), (-1, tup![10])]);
+        d.append_commit(5, [(1, tup![50])]);
+        let r = d.range(TimeInterval::new(1, 3));
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.ts == Some(3)));
+        assert_eq!(d.count_in(TimeInterval::new(0, 5)), 4);
+        assert_eq!(d.count_in(TimeInterval::new(5, 5)), 0);
+        assert_eq!(d.last_ts(), Some(5));
+    }
+
+    #[test]
+    fn reconstruct_replays_history() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![1]), (1, tup![2])]);
+        d.append_commit(2, [(-1, tup![1])]);
+        d.append_commit(4, [(2, tup![2])]);
+        let s0 = d.reconstruct_at(0).unwrap();
+        assert!(s0.is_empty());
+        let s1 = d.reconstruct_at(1).unwrap();
+        assert_eq!(s1[&tup![1]], 1);
+        assert_eq!(s1[&tup![2]], 1);
+        let s2 = d.reconstruct_at(2).unwrap();
+        assert!(!s2.contains_key(&tup![1]), "zero counts dropped");
+        let s4 = d.reconstruct_at(4).unwrap();
+        assert_eq!(s4[&tup![2]], 3);
+    }
+
+    #[test]
+    fn prune_folds_history_into_snapshot() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![1]), (1, tup![2])]);
+        d.append_commit(2, [(-1, tup![1])]);
+        d.append_commit(4, [(2, tup![2])]);
+        d.append_commit(6, [(1, tup![3])]);
+        assert_eq!(d.prune_through(4), 4);
+        assert_eq!(d.pruned_through(), 4);
+        assert_eq!(d.len(), 1, "only the ts=6 record remains");
+        // Reconstruction at or after the prune point still works…
+        let s4 = d.reconstruct_at(4).unwrap();
+        assert_eq!(s4[&tup![2]], 3);
+        assert!(!s4.contains_key(&tup![1]));
+        let s6 = d.reconstruct_at(6).unwrap();
+        assert_eq!(s6[&tup![3]], 1);
+        // …but below it the history is gone.
+        assert!(matches!(
+            d.reconstruct_at(3),
+            Err(Error::HistoryPruned { pruned_through: 4, .. })
+        ));
+        // Ranges above the prune point are unaffected.
+        assert_eq!(d.range(TimeInterval::new(4, 6)).len(), 1);
+        // Pruning is idempotent / monotone.
+        assert_eq!(d.prune_through(2), 0);
+        assert_eq!(d.pruned_through(), 4);
+    }
+
+    #[test]
+    fn view_delta_out_of_order_inserts_and_range() {
+        let vd = ViewDeltaStore::new(TableId(9));
+        vd.insert(5, 1, tup!["late"]);
+        vd.insert(2, -1, tup!["early"]); // compensation for an old time
+        vd.insert(5, 1, tup!["late2"]);
+        let r = vd.range(TimeInterval::new(0, 5));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].ts, Some(2), "range is timestamp-ordered");
+        let r = vd.range(TimeInterval::new(2, 5));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn view_delta_net_range_cancels() {
+        let vd = ViewDeltaStore::new(TableId(9));
+        vd.insert(3, 1, tup!["x"]);
+        vd.insert(4, -1, tup!["x"]);
+        vd.insert(4, 1, tup!["y"]);
+        let net = vd.net_range(TimeInterval::new(0, 4));
+        assert_eq!(net.len(), 1);
+        assert_eq!(net[&tup!["y"]], 1);
+    }
+
+    #[test]
+    fn view_delta_undo_reverses_insert() {
+        let vd = ViewDeltaStore::new(TableId(9));
+        let u1 = vd.insert(3, 1, tup!["a"]);
+        let u2 = vd.insert(3, 1, tup!["b"]);
+        vd.undo(u2).unwrap();
+        vd.undo(u1).unwrap();
+        assert!(vd.is_empty());
+        // Out-of-order undo is an internal error.
+        let u3 = vd.insert(3, 1, tup!["a"]);
+        let _u4 = vd.insert(3, 1, tup!["b"]);
+        assert!(vd.undo(u3).is_err());
+    }
+
+    #[test]
+    fn prune_drops_old_records() {
+        let vd = ViewDeltaStore::new(TableId(9));
+        vd.insert(1, 1, tup![1]);
+        vd.insert(2, 1, tup![2]);
+        vd.insert(3, 1, tup![3]);
+        assert_eq!(vd.prune_through(2), 2);
+        assert_eq!(vd.len(), 1);
+        assert_eq!(vd.range(TimeInterval::new(0, 10)).len(), 1);
+    }
+}

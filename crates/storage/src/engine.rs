@@ -1,0 +1,1063 @@
+//! The storage engine facade: catalog, transactions, and the glue between
+//! WAL, locks, capture, and table stores.
+//!
+//! This plays the role DB2 plays in the paper's prototype (Fig. 11): it
+//! executes transactions under strict 2PL, assigns commit sequence numbers
+//! under a commit mutex (so CSN order ≡ commit order ≡ serialization
+//! order, the paper's §2 assumption), writes the WAL that the capture
+//! process tails, and maintains the unit-of-work table.
+//!
+//! # Transaction API
+//!
+//! ```
+//! use rolljoin_storage::Engine;
+//! use rolljoin_common::{Schema, ColumnType, tup};
+//!
+//! let engine = Engine::new();
+//! let t = engine
+//!     .create_table("r", Schema::new([("a", ColumnType::Int)]))
+//!     .unwrap();
+//! let mut txn = engine.begin();
+//! txn.insert(t, tup![1]).unwrap();
+//! let csn = txn.commit().unwrap();
+//! assert!(csn > 0);
+//! ```
+
+use crate::capture::Capture;
+use crate::delta::{DeltaStore, VdUndo, ViewDeltaStore};
+use crate::lock::{LockManager, LockMode};
+use crate::table::BaseTable;
+use crate::uow::UnitOfWork;
+use crate::wal::{Wal, WalRecord};
+use parking_lot::{Mutex, RwLock};
+use rolljoin_common::{
+    Csn, DeltaRow, Error, Result, Schema, TableId, TimeInterval, Tuple, TxnId,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a catalog entry stores.
+enum TableStore {
+    /// A base table (or materialized view) with an associated delta store
+    /// populated by capture.
+    Base {
+        table: Mutex<BaseTable>,
+        delta: Arc<DeltaStore>,
+    },
+    /// A view delta table (timestamp-keyed change records).
+    ViewDelta(ViewDeltaStore),
+}
+
+struct TableEntry {
+    name: String,
+    schema: Schema,
+    store: TableStore,
+}
+
+struct EngineInner {
+    tables: RwLock<HashMap<TableId, Arc<TableEntry>>>,
+    names: RwLock<HashMap<String, TableId>>,
+    next_table: AtomicU32,
+    next_txn: AtomicU64,
+    wal: Arc<Wal>,
+    locks: Arc<LockManager>,
+    uow: UnitOfWork,
+    commit_mutex: Mutex<()>,
+    last_csn: AtomicU64,
+    capture: Mutex<Capture>,
+    capture_hwm: Arc<AtomicU64>,
+    clock_origin: Instant,
+}
+
+/// Handle to the storage engine. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with the default 2-second lock timeout.
+    pub fn new() -> Self {
+        Self::with_lock_timeout(Duration::from_secs(2))
+    }
+
+    /// A fresh engine with a configurable lock (deadlock) timeout.
+    pub fn with_lock_timeout(timeout: Duration) -> Self {
+        let wal = Arc::new(Wal::new());
+        let capture_hwm = Arc::new(AtomicU64::new(0));
+        Engine {
+            inner: Arc::new(EngineInner {
+                tables: RwLock::new(HashMap::new()),
+                names: RwLock::new(HashMap::new()),
+                next_table: AtomicU32::new(1),
+                next_txn: AtomicU64::new(1),
+                wal: wal.clone(),
+                locks: Arc::new(LockManager::new(timeout)),
+                uow: UnitOfWork::new(),
+                commit_mutex: Mutex::new(()),
+                last_csn: AtomicU64::new(0),
+                capture: Mutex::new(Capture::new(wal, capture_hwm.clone())),
+                capture_hwm,
+                clock_origin: Instant::now(),
+            }),
+        }
+    }
+
+    fn register_with_id(
+        &self,
+        id: TableId,
+        name: &str,
+        schema: Schema,
+        is_view_delta: bool,
+    ) -> Result<TableId> {
+        let mut names = self.inner.names.write();
+        if names.contains_key(name) {
+            return Err(Error::TableExists(name.to_string()));
+        }
+        let store = if is_view_delta {
+            TableStore::ViewDelta(ViewDeltaStore::new(id))
+        } else {
+            TableStore::Base {
+                table: Mutex::new(BaseTable::new(id, name_of(id), schema.clone())),
+                delta: Arc::new(DeltaStore::new(id)),
+            }
+        };
+        let entry = Arc::new(TableEntry {
+            name: name.to_string(),
+            schema,
+            store,
+        });
+        if let TableStore::Base { delta, .. } = &entry.store {
+            self.inner.capture.lock().register(delta.clone());
+        }
+        self.inner.tables.write().insert(id, entry);
+        names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn register(&self, name: &str, schema: Schema, is_view_delta: bool) -> Result<TableId> {
+        let id = TableId(self.inner.next_table.fetch_add(1, Ordering::Relaxed));
+        let id = self.register_with_id(id, name, schema.clone(), is_view_delta)?;
+        // DDL is logged so recovery can rebuild the catalog.
+        self.inner.wal.append(&WalRecord::CreateTable {
+            id,
+            name: name.to_string(),
+            schema,
+            is_view_delta,
+        });
+        Ok(id)
+    }
+
+    /// Create a base table. Its delta store is registered with capture
+    /// immediately, so every change ever made is captured.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableId> {
+        self.register(name, schema, false)
+    }
+
+    /// Create a view delta table with the given (projected view) schema.
+    pub fn create_view_delta(&self, name: &str, schema: Schema) -> Result<TableId> {
+        self.register(name, schema, true)
+    }
+
+    fn entry(&self, table: TableId) -> Result<Arc<TableEntry>> {
+        self.inner
+            .tables
+            .read()
+            .get(&table)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTable(table.to_string()))
+    }
+
+    fn base_entry(&self, table: TableId) -> Result<Arc<TableEntry>> {
+        let e = self.entry(table)?;
+        match e.store {
+            TableStore::Base { .. } => Ok(e),
+            _ => Err(Error::Invalid(format!("{table} is not a base table"))),
+        }
+    }
+
+    /// Create a secondary index on a base table column. Existing rows are
+    /// indexed immediately; the index is maintained by every later write.
+    /// Logged for recovery.
+    pub fn create_index(&self, table: TableId, col: usize) -> Result<()> {
+        let e = self.base_entry(table)?;
+        match &e.store {
+            TableStore::Base { table: t, .. } => t.lock().create_index(col)?,
+            _ => unreachable!("base_entry filters"),
+        }
+        self.inner.wal.append(&WalRecord::CreateIndex {
+            table,
+            col: col as u32,
+        });
+        Ok(())
+    }
+
+    /// Does `table` have a secondary index on `col`?
+    pub fn has_index(&self, table: TableId, col: usize) -> Result<bool> {
+        let e = self.base_entry(table)?;
+        match &e.store {
+            TableStore::Base { table: t, .. } => Ok(t.lock().has_index(col)),
+            _ => unreachable!("base_entry filters"),
+        }
+    }
+
+    /// Number of distinct tuples in a base table (planner heuristic).
+    pub fn table_distinct(&self, table: TableId) -> Result<usize> {
+        let e = self.base_entry(table)?;
+        match &e.store {
+            TableStore::Base { table: t, .. } => Ok(t.lock().distinct()),
+            _ => unreachable!("base_entry filters"),
+        }
+    }
+
+    /// Look up a table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.inner
+            .names
+            .read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, table: TableId) -> Result<Schema> {
+        Ok(self.entry(table)?.schema.clone())
+    }
+
+    /// Name of a table.
+    pub fn table_name(&self, table: TableId) -> Result<String> {
+        Ok(self.entry(table)?.name.clone())
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Txn {
+        let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.inner.wal.append(&WalRecord::Begin { txn: id });
+        Txn {
+            engine: self.clone(),
+            id,
+            active: true,
+            undo: Vec::new(),
+            locked: Vec::new(),
+            lock_wait: Duration::ZERO,
+        }
+    }
+
+    /// CSN of the most recent commit.
+    pub fn current_csn(&self) -> Csn {
+        self.inner.last_csn.load(Ordering::Acquire)
+    }
+
+    /// Microseconds since engine start (the engine's wallclock).
+    pub fn now_micros(&self) -> u64 {
+        self.inner.clock_origin.elapsed().as_micros() as u64
+    }
+
+    /// The lock manager (exposed for stats and pre-locking).
+    pub fn locks(&self) -> &LockManager {
+        &self.inner.locks
+    }
+
+    /// The unit-of-work table.
+    pub fn uow(&self) -> &UnitOfWork {
+        &self.inner.uow
+    }
+
+    /// The WAL (exposed for recovery tests and inspection).
+    pub fn wal(&self) -> &Wal {
+        &self.inner.wal
+    }
+
+    // ---- capture control -------------------------------------------------
+
+    /// Run capture until it has processed the whole log.
+    pub fn capture_catch_up(&self) -> Result<()> {
+        self.inner.capture.lock().catch_up()
+    }
+
+    /// Process up to `max_records` WAL records; returns number processed.
+    pub fn capture_step(&self, max_records: usize) -> Result<usize> {
+        self.inner.capture.lock().step(max_records)
+    }
+
+    /// The capture high-water mark: base deltas are complete through here.
+    pub fn capture_hwm(&self) -> Csn {
+        self.inner.capture_hwm.load(Ordering::Acquire)
+    }
+
+    /// Capture lag in WAL records.
+    pub fn capture_lag(&self) -> u64 {
+        self.inner.capture.lock().lag_records()
+    }
+
+    // ---- delta access ----------------------------------------------------
+
+    /// The delta store of a base table.
+    pub fn delta_store(&self, table: TableId) -> Result<Arc<DeltaStore>> {
+        let e = self.base_entry(table)?;
+        match &e.store {
+            TableStore::Base { delta, .. } => Ok(delta.clone()),
+            _ => unreachable!("base_entry filters"),
+        }
+    }
+
+    /// Read `σ_{a,b}(Δ^R)`. Requires the capture HWM to have reached the
+    /// upper bound, so the range is complete and immutable (lock-free).
+    pub fn delta_range(&self, table: TableId, interval: TimeInterval) -> Result<Vec<DeltaRow>> {
+        let hwm = self.capture_hwm();
+        if interval.hi > hwm {
+            return Err(Error::CaptureBehind {
+                table,
+                requested: interval.hi,
+                hwm,
+            });
+        }
+        let store = self.delta_store(table)?;
+        if interval.lo < store.pruned_through() {
+            return Err(Error::HistoryPruned {
+                table,
+                requested: interval.lo,
+                pruned_through: store.pruned_through(),
+            });
+        }
+        Ok(store.range(interval))
+    }
+
+    /// Count of delta records in a range (for interval policies). Same
+    /// HWM requirement as [`Engine::delta_range`].
+    pub fn delta_count(&self, table: TableId, interval: TimeInterval) -> Result<usize> {
+        let hwm = self.capture_hwm();
+        if interval.hi > hwm {
+            return Err(Error::CaptureBehind {
+                table,
+                requested: interval.hi,
+                hwm,
+            });
+        }
+        Ok(self.delta_store(table)?.count_in(interval))
+    }
+
+    /// Time-travel: the multiset state of `table` at time `t`, reconstructed
+    /// from its delta history. Oracle/baseline use only — the maintenance
+    /// algorithms never call this.
+    pub fn scan_asof(&self, table: TableId, t: Csn) -> Result<HashMap<Tuple, i64>> {
+        let hwm = self.capture_hwm();
+        if t > hwm {
+            return Err(Error::CaptureBehind {
+                table,
+                requested: t,
+                hwm,
+            });
+        }
+        self.delta_store(table)?.reconstruct_at(t)
+    }
+
+    /// Fold delta history of `table` at or below `through` into a base
+    /// snapshot, reclaiming space. Time travel and delta ranges below
+    /// `through` become unavailable ([`Error::HistoryPruned`]); callers
+    /// must ensure every maintenance frontier and roll target has passed
+    /// `through`. Returns the number of records folded.
+    pub fn prune_delta_history(&self, table: TableId, through: Csn) -> Result<usize> {
+        let hwm = self.capture_hwm();
+        if through > hwm {
+            return Err(Error::CaptureBehind {
+                table,
+                requested: through,
+                hwm,
+            });
+        }
+        Ok(self.delta_store(table)?.prune_through(through))
+    }
+
+    /// View-delta range read (no transaction required: used by apply after
+    /// it has S-locked the table, and by experiments for inspection).
+    pub fn vd_range(&self, table: TableId, interval: TimeInterval) -> Result<Vec<DeltaRow>> {
+        let e = self.entry(table)?;
+        match &e.store {
+            TableStore::ViewDelta(vd) => Ok(vd.range(interval)),
+            _ => Err(Error::Invalid(format!("{table} is not a view delta table"))),
+        }
+    }
+
+    /// Net effect of a view-delta range: `φ(σ_{a,b}(VD))`.
+    pub fn vd_net_range(&self, table: TableId, interval: TimeInterval) -> Result<HashMap<Tuple, i64>> {
+        let e = self.entry(table)?;
+        match &e.store {
+            TableStore::ViewDelta(vd) => Ok(vd.net_range(interval)),
+            _ => Err(Error::Invalid(format!("{table} is not a view delta table"))),
+        }
+    }
+
+    /// Number of records in a view delta table.
+    pub fn vd_len(&self, table: TableId) -> Result<usize> {
+        let e = self.entry(table)?;
+        match &e.store {
+            TableStore::ViewDelta(vd) => Ok(vd.len()),
+            _ => Err(Error::Invalid(format!("{table} is not a view delta table"))),
+        }
+    }
+
+    /// Prune view-delta records with timestamp ≤ `t` (already applied).
+    pub fn vd_prune(&self, table: TableId, t: Csn) -> Result<usize> {
+        let e = self.entry(table)?;
+        match &e.store {
+            TableStore::ViewDelta(vd) => Ok(vd.prune_through(t)),
+            _ => Err(Error::Invalid(format!("{table} is not a view delta table"))),
+        }
+    }
+
+    // ---- non-transactional table inspection (tests/experiments) ----------
+
+    /// Row count of a base table (counting multiplicity). Not
+    /// transactional; for reporting.
+    pub fn table_len(&self, table: TableId) -> Result<u64> {
+        let e = self.base_entry(table)?;
+        match &e.store {
+            TableStore::Base { table, .. } => Ok(table.lock().len()),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Heap pages of a base table; for reporting.
+    pub fn table_pages(&self, table: TableId) -> Result<usize> {
+        let e = self.base_entry(table)?;
+        match &e.store {
+            TableStore::Base { table, .. } => Ok(table.lock().page_count()),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Replay a WAL image into per-table multisets, applying only committed
+    /// transactions. This is the recovery path: after a crash the base
+    /// tables can be rebuilt from the log alone.
+    pub fn replay_committed(bytes: &[u8]) -> Result<HashMap<TableId, HashMap<Tuple, i64>>> {
+        let records = Wal::recover(bytes)?;
+        let mut staged: HashMap<TxnId, Vec<(TableId, i64, Tuple)>> = HashMap::new();
+        let mut out: HashMap<TableId, HashMap<Tuple, i64>> = HashMap::new();
+        for rec in records {
+            match rec {
+                WalRecord::Begin { .. } => {}
+                WalRecord::Insert { txn, table, tuple } => {
+                    staged.entry(txn).or_default().push((table, 1, tuple));
+                }
+                WalRecord::Delete { txn, table, tuple } => {
+                    staged.entry(txn).or_default().push((table, -1, tuple));
+                }
+                WalRecord::Commit { txn, .. } => {
+                    for (table, count, tuple) in staged.remove(&txn).unwrap_or_default() {
+                        let m = out.entry(table).or_default();
+                        let e = m.entry(tuple.clone()).or_insert(0);
+                        *e += count;
+                        if *e == 0 {
+                            m.remove(&tuple);
+                        }
+                    }
+                }
+                WalRecord::Abort { txn } => {
+                    staged.remove(&txn);
+                }
+                WalRecord::CreateTable { .. } | WalRecord::CreateIndex { .. } => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Engine {
+    /// Rebuild a full engine from a WAL image: catalog (tables and
+    /// indexes), base/MV table contents (committed transactions only),
+    /// delta stores (by replaying capture over the whole log), the
+    /// unit-of-work table, and the CSN/transaction counters. A torn tail
+    /// is dropped.
+    ///
+    /// View **delta** table contents are intentionally not recovered: they
+    /// are soft state (paper Fig. 3 — the delta can always be re-propagated
+    /// from the materialization time forward). The control-table layer in
+    /// `rolljoin-core` persists each view's materialization time in an
+    /// ordinary base table, so it *is* recovered.
+    pub fn recover_from_bytes(bytes: &[u8]) -> Result<Engine> {
+        let engine = Engine::new();
+        let records = Wal::recover(bytes)?;
+        // Reconstruct the WAL so the recovered engine appends where the
+        // old one stopped.
+        engine.inner.wal.replace_from_bytes(bytes)?;
+
+        let mut staged: HashMap<TxnId, Vec<(TableId, i64, Tuple)>> = HashMap::new();
+        let mut max_txn = 0u64;
+        let mut max_table = 0u32;
+        let mut last_csn = 0u64;
+        for rec in records {
+            match rec {
+                WalRecord::CreateTable {
+                    id,
+                    name,
+                    schema,
+                    is_view_delta,
+                } => {
+                    engine.register_with_id(id, &name, schema, is_view_delta)?;
+                    max_table = max_table.max(id.0);
+                }
+                WalRecord::CreateIndex { table, col } => {
+                    let e = engine.base_entry(table)?;
+                    if let TableStore::Base { table: t, .. } = &e.store {
+                        t.lock().create_index(col as usize)?;
+                    }
+                }
+                WalRecord::Begin { txn } => {
+                    max_txn = max_txn.max(txn.0);
+                }
+                WalRecord::Insert { txn, table, tuple } => {
+                    max_txn = max_txn.max(txn.0);
+                    staged.entry(txn).or_default().push((table, 1, tuple));
+                }
+                WalRecord::Delete { txn, table, tuple } => {
+                    max_txn = max_txn.max(txn.0);
+                    staged.entry(txn).or_default().push((table, -1, tuple));
+                }
+                WalRecord::Commit {
+                    txn,
+                    csn,
+                    wallclock_micros,
+                } => {
+                    max_txn = max_txn.max(txn.0);
+                    last_csn = last_csn.max(csn);
+                    engine.inner.uow.record(txn, csn, wallclock_micros);
+                    for (table, count, tuple) in staged.remove(&txn).unwrap_or_default() {
+                        let e = engine.base_entry(table)?;
+                        if let TableStore::Base { table: t, .. } = &e.store {
+                            if count > 0 {
+                                t.lock().insert(tuple)?;
+                            } else {
+                                t.lock().delete_one(&tuple)?;
+                            }
+                        }
+                    }
+                }
+                WalRecord::Abort { txn } => {
+                    max_txn = max_txn.max(txn.0);
+                    staged.remove(&txn);
+                }
+            }
+        }
+        // Uncommitted trailing transactions (crash victims) are simply
+        // dropped — strict 2PL means none of their effects are visible.
+        engine.inner.last_csn.store(last_csn, Ordering::Release);
+        engine
+            .inner
+            .next_txn
+            .store(max_txn + 1, Ordering::Release);
+        engine
+            .inner
+            .next_table
+            .store(max_table + 1, Ordering::Release);
+        // Rebuild the delta stores by replaying capture over the log.
+        engine.capture_catch_up()?;
+        Ok(engine)
+    }
+
+    /// Persist the WAL image to a file.
+    pub fn save_wal(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.wal().snapshot_bytes())
+            .map_err(|e| Error::Internal(format!("wal write failed: {e}")))
+    }
+
+    /// Recover an engine from a WAL file written by [`Engine::save_wal`].
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Engine> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| Error::Internal(format!("wal read failed: {e}")))?;
+        Self::recover_from_bytes(&bytes)
+    }
+}
+
+fn name_of(id: TableId) -> String {
+    format!("{id}")
+}
+
+enum UndoOp {
+    /// Undo an insert: delete one copy.
+    Insert { table: TableId, tuple: Tuple },
+    /// Undo a delete: re-insert one copy.
+    Delete { table: TableId, tuple: Tuple },
+    /// Undo a view-delta insert.
+    Vd { table: TableId, undo: VdUndo },
+}
+
+/// A strict-2PL transaction handle.
+///
+/// All reads and writes go through a `Txn`. Locks are acquired as touched
+/// and held until [`Txn::commit`] or [`Txn::abort`]. Dropping an active
+/// transaction aborts it.
+pub struct Txn {
+    engine: Engine,
+    id: TxnId,
+    active: bool,
+    undo: Vec<UndoOp>,
+    locked: Vec<TableId>,
+    lock_wait: Duration,
+}
+
+impl Txn {
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Total time this transaction has spent blocked on locks.
+    pub fn lock_wait(&self) -> Duration {
+        self.lock_wait
+    }
+
+    fn check_active(&self) -> Result<()> {
+        if self.active {
+            Ok(())
+        } else {
+            Err(Error::TxnNotActive(self.id))
+        }
+    }
+
+    /// Explicitly acquire a lock (callers lock in `TableId` order to avoid
+    /// deadlocks; propagation queries pre-lock all their tables this way).
+    pub fn lock(&mut self, table: TableId, mode: LockMode) -> Result<()> {
+        self.check_active()?;
+        let waited = self.engine.inner.locks.lock(self.id, table, mode)?;
+        self.lock_wait += waited;
+        if !self.locked.contains(&table) {
+            self.locked.push(table);
+        }
+        Ok(())
+    }
+
+    /// Insert one copy of `tuple` into `table`.
+    pub fn insert(&mut self, table: TableId, tuple: Tuple) -> Result<()> {
+        self.check_active()?;
+        self.lock(table, LockMode::Exclusive)?;
+        let entry = self.engine.base_entry(table)?;
+        match &entry.store {
+            TableStore::Base { table: t, .. } => t.lock().insert(tuple.clone())?,
+            _ => unreachable!(),
+        }
+        self.engine.inner.wal.append(&WalRecord::Insert {
+            txn: self.id,
+            table,
+            tuple: tuple.clone(),
+        });
+        self.undo.push(UndoOp::Insert { table, tuple });
+        Ok(())
+    }
+
+    /// Delete one copy of `tuple` from `table`.
+    pub fn delete_one(&mut self, table: TableId, tuple: &Tuple) -> Result<()> {
+        self.check_active()?;
+        self.lock(table, LockMode::Exclusive)?;
+        let entry = self.engine.base_entry(table)?;
+        match &entry.store {
+            TableStore::Base { table: t, .. } => t.lock().delete_one(tuple)?,
+            _ => unreachable!(),
+        }
+        self.engine.inner.wal.append(&WalRecord::Delete {
+            txn: self.id,
+            table,
+            tuple: tuple.clone(),
+        });
+        self.undo.push(UndoOp::Delete {
+            table,
+            tuple: tuple.clone(),
+        });
+        Ok(())
+    }
+
+    /// Update = delete + insert (paper §2 models updates this way).
+    pub fn update(&mut self, table: TableId, old: &Tuple, new: Tuple) -> Result<()> {
+        self.delete_one(table, old)?;
+        self.insert(table, new)
+    }
+
+    /// Scan all tuples of a base table (with multiplicity) under an S lock.
+    pub fn scan(&mut self, table: TableId) -> Result<Vec<Tuple>> {
+        self.check_active()?;
+        self.lock(table, LockMode::Shared)?;
+        let entry = self.engine.base_entry(table)?;
+        match &entry.store {
+            TableStore::Base { table: t, .. } => Ok(t.lock().scan()),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Scan a base table as a `tuple → count` map under an S lock.
+    pub fn scan_counts(&mut self, table: TableId) -> Result<HashMap<Tuple, i64>> {
+        self.check_active()?;
+        self.lock(table, LockMode::Shared)?;
+        let entry = self.engine.base_entry(table)?;
+        match &entry.store {
+            TableStore::Base { table: t, .. } => Ok(t.lock().scan_counts()),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Multiplicity of one tuple under an S lock.
+    pub fn count_of(&mut self, table: TableId, tuple: &Tuple) -> Result<u64> {
+        self.check_active()?;
+        self.lock(table, LockMode::Shared)?;
+        let entry = self.engine.base_entry(table)?;
+        match &entry.store {
+            TableStore::Base { table: t, .. } => Ok(t.lock().count_of(tuple)),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Index probe: all `(tuple, count)` pairs of `table` whose `col`
+    /// matches any of `keys`, under an S lock. Requires an index on `col`.
+    pub fn lookup_keys(
+        &mut self,
+        table: TableId,
+        col: usize,
+        keys: &[rolljoin_common::Value],
+    ) -> Result<Vec<(Tuple, i64)>> {
+        self.check_active()?;
+        self.lock(table, LockMode::Shared)?;
+        let entry = self.engine.base_entry(table)?;
+        match &entry.store {
+            TableStore::Base { table: t, .. } => {
+                let t = t.lock();
+                if !t.has_index(col) {
+                    return Err(Error::Invalid(format!(
+                        "no index on column {col} of {table}"
+                    )));
+                }
+                let mut out = Vec::new();
+                for key in keys {
+                    out.extend(t.lookup(col, key));
+                }
+                Ok(out)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Apply a signed count to a base table (the apply process's write
+    /// primitive when installing net view deltas into an MV).
+    pub fn apply_count(&mut self, table: TableId, tuple: &Tuple, n: i64) -> Result<()> {
+        use std::cmp::Ordering as O;
+        match n.cmp(&0) {
+            O::Greater => {
+                for _ in 0..n {
+                    self.insert(table, tuple.clone())?;
+                }
+            }
+            O::Less => {
+                for _ in 0..-n {
+                    self.delete_one(table, tuple)?;
+                }
+            }
+            O::Equal => {}
+        }
+        Ok(())
+    }
+
+    /// Insert a view-delta record under an X lock on the VD table.
+    pub fn vd_insert(&mut self, table: TableId, ts: Csn, count: i64, tuple: Tuple) -> Result<()> {
+        self.check_active()?;
+        self.lock(table, LockMode::Exclusive)?;
+        let entry = self.engine.entry(table)?;
+        match &entry.store {
+            TableStore::ViewDelta(vd) => {
+                let undo = vd.insert(ts, count, tuple);
+                self.undo.push(UndoOp::Vd { table, undo });
+                Ok(())
+            }
+            _ => Err(Error::Invalid(format!("{table} is not a view delta table"))),
+        }
+    }
+
+    /// Read a view-delta range under an S lock (transactional read for the
+    /// apply process).
+    pub fn vd_range(&mut self, table: TableId, interval: TimeInterval) -> Result<Vec<DeltaRow>> {
+        self.check_active()?;
+        self.lock(table, LockMode::Shared)?;
+        self.engine.vd_range(table, interval)
+    }
+
+    /// Commit. Returns the commit sequence number, which is also the
+    /// paper's "execution time" of a propagation query transaction.
+    pub fn commit(mut self) -> Result<Csn> {
+        self.check_active()?;
+        let csn = {
+            let _g = self.engine.inner.commit_mutex.lock();
+            let csn = self.engine.inner.last_csn.load(Ordering::Relaxed) + 1;
+            let wall = self.engine.now_micros();
+            self.engine.inner.wal.append(&WalRecord::Commit {
+                txn: self.id,
+                csn,
+                wallclock_micros: wall,
+            });
+            self.engine.inner.uow.record(self.id, csn, wall);
+            self.engine.inner.last_csn.store(csn, Ordering::Release);
+            csn
+        };
+        self.active = false;
+        self.release_locks();
+        Ok(csn)
+    }
+
+    /// Abort: undo all changes, release locks.
+    pub fn abort(mut self) {
+        self.do_abort();
+    }
+
+    fn do_abort(&mut self) {
+        if !self.active {
+            return;
+        }
+        for op in self.undo.drain(..).rev() {
+            match op {
+                UndoOp::Insert { table, tuple } => {
+                    if let Ok(entry) = self.engine.base_entry(table) {
+                        if let TableStore::Base { table: t, .. } = &entry.store {
+                            t.lock()
+                                .delete_one(&tuple)
+                                .expect("undo of insert must find the tuple");
+                        }
+                    }
+                }
+                UndoOp::Delete { table, tuple } => {
+                    if let Ok(entry) = self.engine.base_entry(table) {
+                        if let TableStore::Base { table: t, .. } = &entry.store {
+                            t.lock()
+                                .insert(tuple)
+                                .expect("undo of delete must re-insert");
+                        }
+                    }
+                }
+                UndoOp::Vd { table, undo } => {
+                    if let Ok(entry) = self.engine.entry(table) {
+                        if let TableStore::ViewDelta(vd) = &entry.store {
+                            vd.undo(undo).expect("vd undo applies in reverse order");
+                        }
+                    }
+                }
+            }
+        }
+        self.engine
+            .inner
+            .wal
+            .append(&WalRecord::Abort { txn: self.id });
+        self.active = false;
+        self.release_locks();
+    }
+
+    fn release_locks(&mut self) {
+        for table in self.locked.drain(..) {
+            self.engine.inner.locks.release(self.id, table);
+        }
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if self.active {
+            self.do_abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolljoin_common::{tup, ColumnType};
+
+    fn engine_with_table() -> (Engine, TableId) {
+        let e = Engine::new();
+        let t = e
+            .create_table("r", Schema::new([("a", ColumnType::Int), ("b", ColumnType::Str)]))
+            .unwrap();
+        (e, t)
+    }
+
+    #[test]
+    fn commit_assigns_increasing_csns() {
+        let (e, t) = engine_with_table();
+        let mut csns = Vec::new();
+        for i in 0..5 {
+            let mut txn = e.begin();
+            txn.insert(t, tup![i, "x"]).unwrap();
+            csns.push(txn.commit().unwrap());
+        }
+        assert_eq!(csns, vec![1, 2, 3, 4, 5]);
+        assert_eq!(e.current_csn(), 5);
+        assert_eq!(e.table_len(t).unwrap(), 5);
+    }
+
+    #[test]
+    fn abort_undoes_all_changes() {
+        let (e, t) = engine_with_table();
+        let mut txn = e.begin();
+        txn.insert(t, tup![1, "a"]).unwrap();
+        txn.commit().unwrap();
+
+        let mut txn = e.begin();
+        txn.insert(t, tup![2, "b"]).unwrap();
+        txn.delete_one(t, &tup![1, "a"]).unwrap();
+        txn.update(t, &tup![2, "b"], tup![2, "c"]).unwrap();
+        txn.abort();
+
+        let mut reader = e.begin();
+        let rows = reader.scan(t).unwrap();
+        assert_eq!(rows, vec![tup![1, "a"]]);
+    }
+
+    #[test]
+    fn dropped_txn_aborts() {
+        let (e, t) = engine_with_table();
+        {
+            let mut txn = e.begin();
+            txn.insert(t, tup![1, "a"]).unwrap();
+            // dropped without commit
+        }
+        let mut reader = e.begin();
+        assert!(reader.scan(t).unwrap().is_empty());
+        drop(reader); // release the S lock
+        // Locks were released — a writer can proceed.
+        let mut w = e.begin();
+        w.insert(t, tup![1, "a"]).unwrap();
+        w.commit().unwrap();
+    }
+
+    #[test]
+    fn capture_pipeline_end_to_end() {
+        let (e, t) = engine_with_table();
+        let mut txn = e.begin();
+        txn.insert(t, tup![1, "a"]).unwrap();
+        txn.insert(t, tup![2, "b"]).unwrap();
+        let c1 = txn.commit().unwrap();
+        let mut txn = e.begin();
+        txn.delete_one(t, &tup![1, "a"]).unwrap();
+        let c2 = txn.commit().unwrap();
+
+        e.capture_catch_up().unwrap();
+        assert_eq!(e.capture_hwm(), c2);
+        let rows = e.delta_range(t, TimeInterval::new(0, c2)).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].ts, Some(c1));
+        assert_eq!(rows[2].count, -1);
+
+        // Time travel.
+        let at1 = e.scan_asof(t, c1).unwrap();
+        assert_eq!(at1.len(), 2);
+        let at2 = e.scan_asof(t, c2).unwrap();
+        assert_eq!(at2.len(), 1);
+        assert_eq!(at2[&tup![2, "b"]], 1);
+    }
+
+    #[test]
+    fn delta_range_requires_capture() {
+        let (e, t) = engine_with_table();
+        let mut txn = e.begin();
+        txn.insert(t, tup![1, "a"]).unwrap();
+        let csn = txn.commit().unwrap();
+        let err = e.delta_range(t, TimeInterval::new(0, csn)).unwrap_err();
+        assert!(matches!(err, Error::CaptureBehind { .. }));
+        e.capture_catch_up().unwrap();
+        assert!(e.delta_range(t, TimeInterval::new(0, csn)).is_ok());
+    }
+
+    #[test]
+    fn aborted_txn_invisible_to_capture() {
+        let (e, t) = engine_with_table();
+        let mut txn = e.begin();
+        txn.insert(t, tup![1, "a"]).unwrap();
+        txn.abort();
+        let mut txn = e.begin();
+        txn.insert(t, tup![2, "b"]).unwrap();
+        let csn = txn.commit().unwrap();
+        e.capture_catch_up().unwrap();
+        let rows = e.delta_range(t, TimeInterval::new(0, csn)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tuple, tup![2, "b"]);
+    }
+
+    #[test]
+    fn view_delta_transactional_insert_and_abort() {
+        let (e, _t) = engine_with_table();
+        let vd = e
+            .create_view_delta("vd", Schema::new([("a", ColumnType::Int)]))
+            .unwrap();
+        let mut txn = e.begin();
+        txn.vd_insert(vd, 3, 1, tup![1]).unwrap();
+        txn.commit().unwrap();
+        let mut txn = e.begin();
+        txn.vd_insert(vd, 4, -1, tup![1]).unwrap();
+        txn.abort();
+        assert_eq!(e.vd_len(vd).unwrap(), 1);
+        let rows = e.vd_range(vd, TimeInterval::new(0, 10)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].ts, Some(3));
+    }
+
+    #[test]
+    fn uow_records_every_commit() {
+        let (e, t) = engine_with_table();
+        let mut txn = e.begin();
+        let id = txn.id();
+        txn.insert(t, tup![1, "a"]).unwrap();
+        let csn = txn.commit().unwrap();
+        assert_eq!(e.uow().csn_of(id), Some(csn));
+        assert!(e.uow().wallclock_of_csn(csn).is_some());
+    }
+
+    #[test]
+    fn replay_committed_rebuilds_state() {
+        let (e, t) = engine_with_table();
+        let mut txn = e.begin();
+        txn.insert(t, tup![1, "a"]).unwrap();
+        txn.insert(t, tup![1, "a"]).unwrap();
+        txn.commit().unwrap();
+        let mut txn = e.begin();
+        txn.delete_one(t, &tup![1, "a"]).unwrap();
+        txn.commit().unwrap();
+        let mut txn = e.begin();
+        txn.insert(t, tup![9, "dead"]).unwrap();
+        txn.abort();
+
+        let state = Engine::replay_committed(&e.wal().snapshot_bytes()).unwrap();
+        assert_eq!(state[&t][&tup![1, "a"]], 1);
+        assert!(!state[&t].contains_key(&tup![9, "dead"]));
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        let (e, t) = engine_with_table();
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let e = e.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let mut txn = e.begin();
+                    txn.insert(t, tup![w * 1000 + i, "w"]).unwrap();
+                    txn.commit().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.table_len(t).unwrap(), 200);
+        assert_eq!(e.current_csn(), 200);
+        e.capture_catch_up().unwrap();
+        assert_eq!(e.delta_store(t).unwrap().len(), 200);
+        // CSN order in the delta store is non-decreasing.
+        let rows = e.delta_range(t, TimeInterval::new(0, 200)).unwrap();
+        let ts: Vec<_> = rows.iter().map(|r| r.ts.unwrap()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted);
+    }
+}

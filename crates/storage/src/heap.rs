@@ -1,0 +1,189 @@
+//! Heap files: unordered collections of records over slotted pages.
+
+use crate::page::{Page, SlotId, PAGE_SIZE};
+use rolljoin_common::{Error, Result};
+
+/// Physical address of a record in a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowId {
+    pub page: u32,
+    pub slot: SlotId,
+}
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// A growable, in-memory heap file with a tiny free-space map.
+///
+/// The FSM keeps per-page usable-space estimates so inserts don't scan every
+/// page; it is refreshed on insert/delete of that page.
+pub struct HeapFile {
+    pages: Vec<Page>,
+    fsm: Vec<u16>,
+    live_rows: u64,
+    /// Hint: page most likely to have room (last successful insert).
+    hint: usize,
+}
+
+impl Default for HeapFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapFile {
+    /// An empty heap file.
+    pub fn new() -> Self {
+        HeapFile {
+            pages: Vec::new(),
+            fsm: Vec::new(),
+            live_rows: 0,
+            hint: 0,
+        }
+    }
+
+    /// Number of pages allocated.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.live_rows
+    }
+
+    /// True iff no live records.
+    pub fn is_empty(&self) -> bool {
+        self.live_rows == 0
+    }
+
+    fn refresh_fsm(&mut self, page: usize) {
+        self.fsm[page] = self.pages[page].usable_space().min(u16::MAX as usize) as u16;
+    }
+
+    /// Insert a record, returning its address.
+    pub fn insert(&mut self, record: &[u8]) -> RowId {
+        let need = record.len() + 8;
+        // Try the hint page first, then any page the FSM says has room.
+        let mut candidates: Vec<usize> = Vec::new();
+        if self.hint < self.pages.len() {
+            candidates.push(self.hint);
+        }
+        candidates.extend(
+            (0..self.pages.len()).filter(|&i| i != self.hint && (self.fsm[i] as usize) >= need),
+        );
+        for i in candidates {
+            if let Some(slot) = self.pages[i].insert(record) {
+                self.refresh_fsm(i);
+                self.hint = i;
+                self.live_rows += 1;
+                return RowId {
+                    page: i as u32,
+                    slot,
+                };
+            }
+            self.refresh_fsm(i);
+        }
+        // Allocate a new page.
+        let mut page = Page::new();
+        let slot = page
+            .insert(record)
+            .unwrap_or_else(|| panic!("record of {} bytes exceeds page size {PAGE_SIZE}", record.len()));
+        self.pages.push(page);
+        self.fsm.push(0);
+        let i = self.pages.len() - 1;
+        self.refresh_fsm(i);
+        self.hint = i;
+        self.live_rows += 1;
+        RowId {
+            page: i as u32,
+            slot,
+        }
+    }
+
+    /// Read the record at `rid`.
+    pub fn get(&self, rid: RowId) -> Option<&[u8]> {
+        self.pages.get(rid.page as usize)?.get(rid.slot)
+    }
+
+    /// Delete the record at `rid`.
+    pub fn delete(&mut self, rid: RowId) -> Result<()> {
+        let page = self
+            .pages
+            .get_mut(rid.page as usize)
+            .ok_or_else(|| Error::Internal(format!("no page {}", rid.page)))?;
+        page.delete(rid.slot)?;
+        self.live_rows -= 1;
+        self.refresh_fsm(rid.page as usize);
+        Ok(())
+    }
+
+    /// Iterate `(RowId, record)` over all live records.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[u8])> + '_ {
+        self.pages.iter().enumerate().flat_map(|(pi, page)| {
+            page.iter().map(move |(slot, rec)| {
+                (
+                    RowId {
+                        page: pi as u32,
+                        slot,
+                    },
+                    rec,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_across_pages() {
+        let mut h = HeapFile::new();
+        let rec = vec![0u8; 2000];
+        let rids: Vec<_> = (0..20).map(|_| h.insert(&rec)).collect();
+        assert_eq!(h.len(), 20);
+        assert!(h.page_count() >= 5, "2000B records, 4/page → ≥5 pages");
+        for rid in rids {
+            assert_eq!(h.get(rid).unwrap().len(), 2000);
+        }
+    }
+
+    #[test]
+    fn delete_then_reuse_space() {
+        let mut h = HeapFile::new();
+        let rec = vec![1u8; 3000];
+        let a = h.insert(&rec);
+        let _b = h.insert(&rec);
+        let pages_before = h.page_count();
+        h.delete(a).unwrap();
+        let c = h.insert(&rec);
+        assert_eq!(h.page_count(), pages_before, "freed space reused");
+        assert_eq!(h.get(c).unwrap(), &rec[..]);
+        // RowIds are recycled: `c` may land in `a`'s old slot.
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn iter_sees_all_live_records() {
+        let mut h = HeapFile::new();
+        let a = h.insert(b"a");
+        let b = h.insert(b"b");
+        let c = h.insert(b"c");
+        h.delete(b).unwrap();
+        let mut got: Vec<_> = h.iter().map(|(r, _)| r).collect();
+        got.sort_by_key(|r| (r.page, r.slot));
+        assert_eq!(got, vec![a, c]);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn get_of_missing_is_none() {
+        let h = HeapFile::new();
+        assert!(h.get(RowId { page: 0, slot: 0 }).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! `rolljoin-storage` — the embedded multiset storage engine underneath the
+//! rolling-join-propagation reproduction.
+//!
+//! The paper's prototype (§5, Fig. 11) ran as external drivers around the
+//! DB2 engine plus the DPropR log-capture tool. This crate is the
+//! from-scratch substitute for that substrate:
+//!
+//! * [`page`] / [`heap`] / [`table`] — slotted 8 KiB pages, heap files, and
+//!   multiset base tables with a tuple index.
+//! * [`wal`] — a CRC-guarded binary write-ahead log with recovery replay.
+//! * [`lock`] — table-granularity strict-2PL shared/exclusive locks with
+//!   FIFO queues and timeout-based deadlock resolution.
+//! * [`uow`] — the unit-of-work table mapping transactions to commit
+//!   sequence numbers and wallclock times (paper §5).
+//! * [`capture`] — the asynchronous log-capture process (DPropR analogue)
+//!   that populates base delta stores and publishes a capture high-water
+//!   mark.
+//! * [`delta`] — base delta stores (`Δ^R`, CSN-ordered) and view delta
+//!   stores (timestamp-keyed, out-of-order inserts).
+//! * [`engine`] — the transaction API tying it all together.
+
+pub mod capture;
+pub mod codec;
+pub mod delta;
+pub mod engine;
+pub mod heap;
+pub mod lock;
+pub mod page;
+pub mod table;
+pub mod uow;
+pub mod wal;
+
+pub use capture::Capture;
+pub use delta::{DeltaStore, ViewDeltaStore};
+pub use engine::{Engine, Txn};
+pub use heap::RowId;
+pub use lock::{LockManager, LockMode, LockStats};
+pub use table::BaseTable;
+pub use uow::{UnitOfWork, UowEntry};
+pub use wal::{Lsn, Wal, WalRecord};

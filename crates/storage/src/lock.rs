@@ -1,0 +1,377 @@
+//! Table-granularity strict two-phase locking.
+//!
+//! The paper assumes "the transaction history is serializable, and the
+//! order of transaction commits is consistent with the serialization order
+//! … the case, for example, in any system that used strict two-phase
+//! locking" (§2). We implement exactly that: shared/exclusive locks at
+//! table granularity, held to commit. Table granularity makes the
+//! contention the paper is designed to mitigate (propagation transactions
+//! vs. concurrent updaters) directly visible and measurable.
+//!
+//! Fairness is FIFO with batched grants (consecutive compatible waiters are
+//! granted together). Deadlocks are resolved by timeout: a waiter that
+//! cannot be granted within the deadline receives [`Error::LockTimeout`]
+//! and its transaction is expected to abort and retry.
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use rolljoin_common::{Error, Result, TableId, TxnId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Requested/held lock strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+impl LockMode {
+    fn covers(self, want: LockMode) -> bool {
+        self == LockMode::Exclusive || want == LockMode::Shared
+    }
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+}
+
+#[derive(Default)]
+struct LockState {
+    granted: HashMap<TxnId, LockMode>,
+    queue: VecDeque<Waiter>,
+}
+
+impl LockState {
+    /// Can `txn` be granted `mode` given current holders (ignoring queue)?
+    fn compatible(&self, txn: TxnId, mode: LockMode) -> bool {
+        match self.granted.get(&txn) {
+            Some(held) if held.covers(mode) => true,
+            Some(_) => {
+                // Upgrade S → X: only when sole holder.
+                self.granted.len() == 1
+            }
+            None => match mode {
+                LockMode::Shared => self
+                    .granted
+                    .values()
+                    .all(|m| *m == LockMode::Shared),
+                LockMode::Exclusive => self.granted.is_empty(),
+            },
+        }
+    }
+
+    /// Grant queued waiters from the front while compatible.
+    fn pump(&mut self) -> bool {
+        let mut any = false;
+        while let Some(front) = self.queue.front() {
+            if self.compatible(front.txn, front.mode) {
+                let w = self.queue.pop_front().expect("front exists");
+                let entry = self.granted.entry(w.txn).or_insert(w.mode);
+                if w.mode == LockMode::Exclusive {
+                    *entry = LockMode::Exclusive;
+                }
+                any = true;
+            } else {
+                break;
+            }
+        }
+        any
+    }
+
+    fn holds(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.granted.get(&txn).is_some_and(|m| m.covers(mode))
+    }
+}
+
+struct LockEntry {
+    state: Mutex<LockState>,
+    cond: Condvar,
+}
+
+/// Aggregate lock statistics, used by the contention experiments (E9).
+#[derive(Default)]
+pub struct LockStats {
+    /// Total nanoseconds spent blocked in `lock`.
+    pub wait_nanos: AtomicU64,
+    /// Number of `lock` calls that had to block.
+    pub waits: AtomicU64,
+    /// Number of lock acquisitions (blocked or not).
+    pub acquisitions: AtomicU64,
+    /// Number of lock timeouts (deadlock resolutions).
+    pub timeouts: AtomicU64,
+}
+
+impl LockStats {
+    /// Snapshot (wait_nanos, waits, acquisitions, timeouts).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.wait_nanos.load(Ordering::Relaxed),
+            self.waits.load(Ordering::Relaxed),
+            self.acquisitions.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The lock manager.
+pub struct LockManager {
+    entries: RwLock<HashMap<TableId, Arc<LockEntry>>>,
+    timeout: Duration,
+    stats: LockStats,
+}
+
+impl LockManager {
+    /// Create a manager with the given deadlock-resolution timeout.
+    pub fn new(timeout: Duration) -> Self {
+        LockManager {
+            entries: RwLock::new(HashMap::new()),
+            timeout,
+            stats: LockStats::default(),
+        }
+    }
+
+    /// Lock statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    fn entry(&self, table: TableId) -> Arc<LockEntry> {
+        if let Some(e) = self.entries.read().get(&table) {
+            return e.clone();
+        }
+        self.entries
+            .write()
+            .entry(table)
+            .or_insert_with(|| {
+                Arc::new(LockEntry {
+                    state: Mutex::new(LockState::default()),
+                    cond: Condvar::new(),
+                })
+            })
+            .clone()
+    }
+
+    /// Acquire `mode` on `table` for `txn`, blocking up to the timeout.
+    /// Returns the time spent blocked.
+    pub fn lock(&self, txn: TxnId, table: TableId, mode: LockMode) -> Result<Duration> {
+        let entry = self.entry(table);
+        let mut state = entry.state.lock();
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+
+        if state.holds(txn, mode) {
+            return Ok(Duration::ZERO);
+        }
+        if state.queue.is_empty() && state.compatible(txn, mode) {
+            let slot = state.granted.entry(txn).or_insert(mode);
+            if mode == LockMode::Exclusive {
+                *slot = LockMode::Exclusive;
+            }
+            return Ok(Duration::ZERO);
+        }
+
+        // Upgrades go to the front so a sole S-holder requesting X is not
+        // blocked behind unrelated waiters (which could never be granted
+        // anyway while it holds S). Competing upgraders deadlock and are
+        // resolved by timeout.
+        if state.granted.contains_key(&txn) {
+            state.queue.push_front(Waiter { txn, mode });
+        } else {
+            state.queue.push_back(Waiter { txn, mode });
+        }
+        state.pump();
+        if state.holds(txn, mode) {
+            entry.cond.notify_all();
+            return Ok(Duration::ZERO);
+        }
+
+        let started = Instant::now();
+        self.stats.waits.fetch_add(1, Ordering::Relaxed);
+        let deadline = started + self.timeout;
+        loop {
+            let timed_out = entry.cond.wait_until(&mut state, deadline).timed_out();
+            if state.holds(txn, mode) {
+                let waited = started.elapsed();
+                self.stats
+                    .wait_nanos
+                    .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+                return Ok(waited);
+            }
+            if timed_out {
+                // Withdraw the request.
+                if let Some(pos) = state
+                    .queue
+                    .iter()
+                    .position(|w| w.txn == txn && w.mode == mode)
+                {
+                    state.queue.remove(pos);
+                }
+                if state.pump() {
+                    entry.cond.notify_all();
+                }
+                let waited = started.elapsed();
+                self.stats
+                    .wait_nanos
+                    .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::LockTimeout { txn, table });
+            }
+        }
+    }
+
+    /// Release `txn`'s lock on `table` (no-op if not held).
+    pub fn release(&self, txn: TxnId, table: TableId) {
+        let entry = self.entry(table);
+        let mut state = entry.state.lock();
+        if state.granted.remove(&txn).is_some() {
+            state.pump();
+            entry.cond.notify_all();
+        }
+    }
+
+    /// Does `txn` hold at least `mode` on `table`?
+    pub fn holds(&self, txn: TxnId, table: TableId, mode: LockMode) -> bool {
+        let entry = self.entry(table);
+        let state = entry.state.lock();
+        state.holds(txn, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    fn mgr() -> Arc<LockManager> {
+        Arc::new(LockManager::new(Duration::from_millis(200)))
+    }
+
+    const T: TableId = TableId(1);
+
+    #[test]
+    fn shared_locks_coexist() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        m.lock(TxnId(2), T, LockMode::Shared).unwrap();
+        assert!(m.holds(TxnId(1), T, LockMode::Shared));
+        assert!(m.holds(TxnId(2), T, LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_blocks_shared_until_release() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Exclusive).unwrap();
+        let m2 = m.clone();
+        let blocked = Arc::new(AtomicBool::new(true));
+        let b2 = blocked.clone();
+        let h = thread::spawn(move || {
+            m2.lock(TxnId(2), T, LockMode::Shared).unwrap();
+            b2.store(false, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(blocked.load(Ordering::SeqCst));
+        m.release(TxnId(1), T);
+        h.join().unwrap();
+        assert!(!blocked.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn reentrant_and_covering() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Exclusive).unwrap();
+        // X covers S; repeat requests are free.
+        assert_eq!(m.lock(TxnId(1), T, LockMode::Shared).unwrap(), Duration::ZERO);
+        assert_eq!(
+            m.lock(TxnId(1), T, LockMode::Exclusive).unwrap(),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        m.lock(TxnId(1), T, LockMode::Exclusive).unwrap();
+        assert!(m.holds(TxnId(1), T, LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_readers() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        m.lock(TxnId(2), T, LockMode::Shared).unwrap();
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.lock(TxnId(1), T, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(30));
+        m.release(TxnId(2), T);
+        assert!(h.join().unwrap().is_ok());
+        assert!(m.holds(TxnId(1), T, LockMode::Exclusive));
+    }
+
+    #[test]
+    fn timeout_resolves_deadlock() {
+        let m = mgr();
+        let a = TableId(10);
+        let b = TableId(11);
+        m.lock(TxnId(1), a, LockMode::Exclusive).unwrap();
+        m.lock(TxnId(2), b, LockMode::Exclusive).unwrap();
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.lock(TxnId(2), a, LockMode::Exclusive));
+        let r1 = m.lock(TxnId(1), b, LockMode::Exclusive);
+        let r2 = h.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "at least one side of the deadlock must time out"
+        );
+        let (_, _, _, timeouts) = m.stats().snapshot();
+        assert!(timeouts >= 1);
+    }
+
+    #[test]
+    fn fifo_prevents_writer_starvation() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Shared).unwrap();
+        // Writer queues…
+        let mw = m.clone();
+        let writer = thread::spawn(move || mw.lock(TxnId(2), T, LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(30));
+        // …then a new reader must queue *behind* the writer.
+        let mr = m.clone();
+        let got_read = Arc::new(AtomicBool::new(false));
+        let g2 = got_read.clone();
+        let reader = thread::spawn(move || {
+            mr.lock(TxnId(3), T, LockMode::Shared).unwrap();
+            g2.store(true, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(
+            !got_read.load(Ordering::SeqCst),
+            "reader must wait behind queued writer"
+        );
+        m.release(TxnId(1), T);
+        writer.join().unwrap().unwrap();
+        m.release(TxnId(2), T);
+        reader.join().unwrap();
+        assert!(got_read.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn stats_track_waiting() {
+        let m = mgr();
+        m.lock(TxnId(1), T, LockMode::Exclusive).unwrap();
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.lock(TxnId(2), T, LockMode::Shared));
+        thread::sleep(Duration::from_millis(50));
+        m.release(TxnId(1), T);
+        let waited = h.join().unwrap().unwrap();
+        assert!(waited >= Duration::from_millis(30));
+        let (nanos, waits, acqs, _) = m.stats().snapshot();
+        assert!(nanos > 0);
+        assert_eq!(waits, 1);
+        assert!(acqs >= 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Slotted pages.
+//!
+//! Classic slotted-page layout inside a fixed [`PAGE_SIZE`] byte array:
+//!
+//! ```text
+//! +--------+---------------------+------------------->      <-------------+
+//! | header | slot 0 | slot 1 ... |   free space   ...   cell 1 | cell 0   |
+//! +--------+---------------------+------------------->      <-------------+
+//! ```
+//!
+//! The header stores the slot count and the offset where the cell area
+//! begins. Slots grow upward, cells grow downward. Deleting a record leaves
+//! a dead slot (offset 0) that is reused by later inserts; when the cell
+//! area is exhausted but dead space exists, [`Page::compact`] defragments.
+
+use rolljoin_common::{Error, Result};
+
+/// Page size in bytes (DB2-ish 8 KiB).
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER_SIZE: usize = 4; // slot_count: u16, cell_start: u16
+const SLOT_SIZE: usize = 4; // offset: u16, len: u16
+const DEAD: u16 = 0;
+
+/// Index of a slot within a page.
+pub type SlotId = u16;
+
+/// A fixed-size slotted page.
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+    /// Bytes occupied by dead cells (reclaimable by compaction).
+    dead_bytes: u16,
+    live: u16,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut p = Page {
+            data: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("PAGE_SIZE boxed array"),
+            dead_bytes: 0,
+            live: 0,
+        };
+        p.set_slot_count(0);
+        p.set_cell_start(PAGE_SIZE as u16);
+        p
+    }
+
+    fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.data[0], self.data[1]])
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.data[0..2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn cell_start(&self) -> u16 {
+        u16::from_le_bytes([self.data[2], self.data[3]])
+    }
+
+    fn set_cell_start(&mut self, v: u16) {
+        self.data[2..4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot_pos(slot: SlotId) -> usize {
+        HEADER_SIZE + SLOT_SIZE * slot as usize
+    }
+
+    fn read_slot(&self, slot: SlotId) -> (u16, u16) {
+        let p = Self::slot_pos(slot);
+        (
+            u16::from_le_bytes([self.data[p], self.data[p + 1]]),
+            u16::from_le_bytes([self.data[p + 2], self.data[p + 3]]),
+        )
+    }
+
+    fn write_slot(&mut self, slot: SlotId, offset: u16, len: u16) {
+        let p = Self::slot_pos(slot);
+        self.data[p..p + 2].copy_from_slice(&offset.to_le_bytes());
+        self.data[p + 2..p + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Number of live records on the page.
+    pub fn live_count(&self) -> u16 {
+        self.live
+    }
+
+    /// Free bytes available to an insert that can reuse a dead slot, i.e.
+    /// contiguous free space plus compactable dead space.
+    pub fn usable_space(&self) -> usize {
+        self.contiguous_free() + self.dead_bytes as usize
+    }
+
+    fn contiguous_free(&self) -> usize {
+        self.cell_start() as usize - (HEADER_SIZE + SLOT_SIZE * self.slot_count() as usize)
+    }
+
+    fn find_dead_slot(&self) -> Option<SlotId> {
+        (0..self.slot_count()).find(|&s| self.read_slot(s).0 == DEAD)
+    }
+
+    /// Insert a record; returns its slot, or `None` if it cannot fit even
+    /// after compaction (caller should use another page).
+    pub fn insert(&mut self, record: &[u8]) -> Option<SlotId> {
+        assert!(
+            !record.is_empty() && record.len() <= PAGE_SIZE - HEADER_SIZE - SLOT_SIZE,
+            "record size {} out of range for page",
+            record.len()
+        );
+        let reuse = self.find_dead_slot();
+        let slot_cost = if reuse.is_some() { 0 } else { SLOT_SIZE };
+        if self.contiguous_free() < record.len() + slot_cost {
+            if self.usable_space() >= record.len() + slot_cost {
+                self.compact();
+            } else {
+                return None;
+            }
+        }
+        if self.contiguous_free() < record.len() + slot_cost {
+            return None;
+        }
+        let new_start = self.cell_start() - record.len() as u16;
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count();
+                self.set_slot_count(s + 1);
+                s
+            }
+        };
+        self.data[new_start as usize..new_start as usize + record.len()].copy_from_slice(record);
+        self.set_cell_start(new_start);
+        self.write_slot(slot, new_start, record.len() as u16);
+        self.live += 1;
+        Some(slot)
+    }
+
+    /// Read the record in `slot`, or `None` if the slot is dead/out of range.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.read_slot(slot);
+        if off == DEAD {
+            return None;
+        }
+        Some(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Delete the record in `slot`.
+    pub fn delete(&mut self, slot: SlotId) -> Result<()> {
+        if slot >= self.slot_count() || self.read_slot(slot).0 == DEAD {
+            return Err(Error::Internal(format!("delete of dead slot {slot}")));
+        }
+        let (_, len) = self.read_slot(slot);
+        self.write_slot(slot, DEAD, 0);
+        self.dead_bytes += len;
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Iterate `(slot, record)` over live records.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+
+    /// Defragment the cell area, preserving slot ids.
+    pub fn compact(&mut self) {
+        let mut cells: Vec<(SlotId, Vec<u8>)> = self
+            .iter()
+            .map(|(s, r)| (s, r.to_vec()))
+            .collect();
+        // Rewrite cells from the end of the page downward.
+        let mut cursor = PAGE_SIZE as u16;
+        for (slot, bytes) in cells.drain(..) {
+            cursor -= bytes.len() as u16;
+            self.data[cursor as usize..cursor as usize + bytes.len()].copy_from_slice(&bytes);
+            self.write_slot(slot, cursor, bytes.len() as u16);
+        }
+        self.set_cell_start(cursor);
+        self.dead_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn delete_marks_dead_and_slot_is_reused() {
+        let mut p = Page::new();
+        let a = p.insert(b"aaaa").unwrap();
+        let _b = p.insert(b"bbbb").unwrap();
+        p.delete(a).unwrap();
+        assert!(p.get(a).is_none());
+        let c = p.insert(b"cc").unwrap();
+        assert_eq!(c, a, "dead slot should be reused");
+        assert_eq!(p.get(c).unwrap(), b"cc");
+    }
+
+    #[test]
+    fn double_delete_is_error() {
+        let mut p = Page::new();
+        let a = p.insert(b"x").unwrap();
+        p.delete(a).unwrap();
+        assert!(p.delete(a).is_err());
+        assert!(p.delete(99).is_err());
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = Page::new();
+        let rec = vec![7u8; 1000];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 8, "8 * (1000+4) + header fits in 8192");
+        assert!(p.insert(&rec).is_none());
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut p = Page::new();
+        let rec = vec![1u8; 1000];
+        let slots: Vec<_> = std::iter::from_fn(|| p.insert(&rec)).collect();
+        assert_eq!(slots.len(), 8);
+        // Free every other record, then insert something larger than any
+        // contiguous hole but smaller than total dead space.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s).unwrap();
+        }
+        let big = vec![2u8; 3000];
+        let s = p.insert(&big).expect("fits after compaction");
+        assert_eq!(p.get(s).unwrap(), &big[..]);
+        // Survivors unharmed.
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(p.get(*s).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn iter_yields_only_live() {
+        let mut p = Page::new();
+        let a = p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        p.delete(a).unwrap();
+        let got: Vec<_> = p.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(got, vec![(b, b"b".to_vec())]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Multiset base tables.
+//!
+//! A [`BaseTable`] stores tuples in a [`HeapFile`] (duplicates are separate
+//! heap records — tables are multisets, paper §2) and maintains a tuple →
+//! row-id index so `delete one copy of t` is O(1) in the number of distinct
+//! tuples.
+
+use crate::codec;
+use crate::heap::{HeapFile, RowId};
+use rolljoin_common::{Error, Result, Schema, TableId, Tuple, Value};
+use std::collections::HashMap;
+
+/// A multiset of tuples with a fixed schema, an implicit primary (whole
+/// tuple) index, and optional secondary indexes on single columns —
+/// propagation queries use the latter to probe base tables by the join
+/// keys appearing in a delta, instead of scanning (what an index on the
+/// join column buys the paper's DB2 prototype).
+pub struct BaseTable {
+    id: TableId,
+    name: String,
+    schema: Schema,
+    heap: HeapFile,
+    index: HashMap<Tuple, Vec<RowId>>,
+    /// column → key value → tuple → multiplicity.
+    secondary: HashMap<usize, HashMap<Value, HashMap<Tuple, i64>>>,
+}
+
+impl BaseTable {
+    /// Create an empty table.
+    pub fn new(id: TableId, name: impl Into<String>, schema: Schema) -> Self {
+        BaseTable {
+            id,
+            name: name.into(),
+            schema,
+            heap: HeapFile::new(),
+            index: HashMap::new(),
+            secondary: HashMap::new(),
+        }
+    }
+
+    /// Build (or rebuild) a secondary index on `col`.
+    pub fn create_index(&mut self, col: usize) -> Result<()> {
+        if col >= self.schema.arity() {
+            return Err(Error::Invalid(format!(
+                "index column {col} out of range for {}",
+                self.schema
+            )));
+        }
+        let mut idx: HashMap<Value, HashMap<Tuple, i64>> = HashMap::new();
+        for (tuple, rids) in &self.index {
+            *idx.entry(tuple.get(col).clone())
+                .or_default()
+                .entry(tuple.clone())
+                .or_insert(0) += rids.len() as i64;
+        }
+        self.secondary.insert(col, idx);
+        Ok(())
+    }
+
+    /// Is there a secondary index on `col`?
+    pub fn has_index(&self, col: usize) -> bool {
+        self.secondary.contains_key(&col)
+    }
+
+    /// All `(tuple, count)` whose `col` equals `key` (index required).
+    pub fn lookup(&self, col: usize, key: &Value) -> Vec<(Tuple, i64)> {
+        self.secondary
+            .get(&col)
+            .and_then(|idx| idx.get(key))
+            .map(|m| m.iter().map(|(t, c)| (t.clone(), *c)).collect())
+            .unwrap_or_default()
+    }
+
+    fn index_insert(&mut self, tuple: &Tuple) {
+        for (col, idx) in &mut self.secondary {
+            *idx.entry(tuple.get(*col).clone())
+                .or_default()
+                .entry(tuple.clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn index_delete(&mut self, tuple: &Tuple) {
+        for (col, idx) in &mut self.secondary {
+            let key = tuple.get(*col);
+            if let Some(bucket) = idx.get_mut(key) {
+                if let Some(c) = bucket.get_mut(tuple) {
+                    *c -= 1;
+                    if *c == 0 {
+                        bucket.remove(tuple);
+                    }
+                }
+                if bucket.is_empty() {
+                    idx.remove(key);
+                }
+            }
+        }
+    }
+
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of tuples (counting multiplicity).
+    pub fn len(&self) -> u64 {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pages allocated by the underlying heap (for experiment reporting).
+    pub fn page_count(&self) -> usize {
+        self.heap.page_count()
+    }
+
+    /// Insert one copy of `tuple`.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        self.schema.check(&tuple)?;
+        let rid = self.heap.insert(&codec::encode_tuple(&tuple));
+        self.index_insert(&tuple);
+        self.index.entry(tuple).or_default().push(rid);
+        Ok(())
+    }
+
+    /// Delete one copy of `tuple`. Errors if no copy is present.
+    pub fn delete_one(&mut self, tuple: &Tuple) -> Result<()> {
+        let rids = self.index.get_mut(tuple).ok_or_else(|| Error::TupleNotFound {
+            table: self.id,
+            detail: tuple.to_string(),
+        })?;
+        let rid = rids.pop().expect("index entries are non-empty");
+        if rids.is_empty() {
+            self.index.remove(tuple);
+        }
+        self.heap.delete(rid)?;
+        self.index_delete(tuple);
+        Ok(())
+    }
+
+    /// Multiplicity of `tuple` in the multiset.
+    pub fn count_of(&self, tuple: &Tuple) -> u64 {
+        self.index.get(tuple).map_or(0, |v| v.len() as u64)
+    }
+
+    /// Apply a signed count: insert `n` copies (`n > 0`) or delete `-n`
+    /// copies (`n < 0`). Used by the apply process when installing view
+    /// deltas into a materialized view.
+    pub fn apply_count(&mut self, tuple: &Tuple, n: i64) -> Result<()> {
+        use std::cmp::Ordering;
+        match n.cmp(&0) {
+            Ordering::Greater => {
+                for _ in 0..n {
+                    self.insert(tuple.clone())?;
+                }
+            }
+            Ordering::Less => {
+                let have = self.count_of(tuple) as i64;
+                if have < -n {
+                    return Err(Error::TupleNotFound {
+                        table: self.id,
+                        detail: format!("need {} copies of {tuple}, have {have}", -n),
+                    });
+                }
+                for _ in 0..-n {
+                    self.delete_one(tuple)?;
+                }
+            }
+            Ordering::Equal => {}
+        }
+        Ok(())
+    }
+
+    /// Scan all tuples (with multiplicity: duplicates appear repeatedly).
+    /// Decodes from the heap pages — the real read path.
+    pub fn scan(&self) -> Vec<Tuple> {
+        self.heap
+            .iter()
+            .map(|(_, rec)| codec::decode_tuple(rec).expect("heap records are valid tuples"))
+            .collect()
+    }
+
+    /// Scan as a `tuple → count` multiset map.
+    pub fn scan_counts(&self) -> HashMap<Tuple, i64> {
+        self.index
+            .iter()
+            .map(|(t, rids)| (t.clone(), rids.len() as i64))
+            .collect()
+    }
+
+    /// Number of distinct tuples.
+    pub fn distinct(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolljoin_common::{tup, ColumnType};
+
+    fn table() -> BaseTable {
+        BaseTable::new(
+            TableId(1),
+            "r",
+            Schema::new([("a", ColumnType::Int), ("b", ColumnType::Str)]),
+        )
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let mut t = table();
+        t.insert(tup![1, "x"]).unwrap();
+        t.insert(tup![1, "x"]).unwrap();
+        t.insert(tup![2, "y"]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count_of(&tup![1, "x"]), 2);
+        assert_eq!(t.distinct(), 2);
+        t.delete_one(&tup![1, "x"]).unwrap();
+        assert_eq!(t.count_of(&tup![1, "x"]), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delete_of_absent_tuple_errors() {
+        let mut t = table();
+        assert!(t.delete_one(&tup![9, "z"]).is_err());
+    }
+
+    #[test]
+    fn schema_enforced_on_insert() {
+        let mut t = table();
+        assert!(t.insert(tup!["wrong", 1]).is_err());
+        assert!(t.insert(tup![1]).is_err());
+    }
+
+    #[test]
+    fn scan_round_trips_through_pages() {
+        let mut t = table();
+        for i in 0..3000 {
+            t.insert(tup![i, format!("row{i}")]).unwrap();
+        }
+        let mut rows = t.scan();
+        rows.sort();
+        assert_eq!(rows.len(), 3000);
+        assert_eq!(rows[0], tup![0, "row0"]);
+        assert_eq!(rows[2999], tup![2999, "row2999"]);
+        assert!(t.page_count() > 1);
+    }
+
+    #[test]
+    fn apply_count_inserts_and_deletes() {
+        let mut t = table();
+        t.apply_count(&tup![1, "x"], 3).unwrap();
+        assert_eq!(t.count_of(&tup![1, "x"]), 3);
+        t.apply_count(&tup![1, "x"], -2).unwrap();
+        assert_eq!(t.count_of(&tup![1, "x"]), 1);
+        assert!(t.apply_count(&tup![1, "x"], -2).is_err());
+        t.apply_count(&tup![1, "x"], 0).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn secondary_index_tracks_changes() {
+        let mut t = table();
+        t.insert(tup![1, "x"]).unwrap();
+        t.create_index(1).unwrap();
+        assert!(t.has_index(1));
+        assert!(!t.has_index(0));
+        t.insert(tup![2, "x"]).unwrap();
+        t.insert(tup![2, "x"]).unwrap();
+        t.insert(tup![3, "y"]).unwrap();
+        let mut hits = t.lookup(1, &Value::str("x"));
+        hits.sort();
+        assert_eq!(hits, vec![(tup![1, "x"], 1), (tup![2, "x"], 2)]);
+        t.delete_one(&tup![2, "x"]).unwrap();
+        let mut hits = t.lookup(1, &Value::str("x"));
+        hits.sort();
+        assert_eq!(hits, vec![(tup![1, "x"], 1), (tup![2, "x"], 1)]);
+        t.delete_one(&tup![1, "x"]).unwrap();
+        t.delete_one(&tup![2, "x"]).unwrap();
+        assert!(t.lookup(1, &Value::str("x")).is_empty());
+        assert_eq!(t.lookup(1, &Value::str("y")), vec![(tup![3, "y"], 1)]);
+        assert!(t.lookup(1, &Value::str("z")).is_empty());
+        assert!(t.create_index(9).is_err());
+    }
+
+    #[test]
+    fn scan_counts_matches_scan() {
+        let mut t = table();
+        t.insert(tup![1, "x"]).unwrap();
+        t.insert(tup![1, "x"]).unwrap();
+        t.insert(tup![2, "y"]).unwrap();
+        let counts = t.scan_counts();
+        assert_eq!(counts[&tup![1, "x"]], 2);
+        assert_eq!(counts[&tup![2, "y"]], 1);
+        assert_eq!(counts.values().sum::<i64>() as u64, t.len());
+    }
+}

@@ -1,0 +1,132 @@
+//! The unit-of-work table.
+//!
+//! Paper §5: DPropR "maintains a separate global table, called the
+//! unit-of-work table, which maps the identifier of each relevant
+//! transaction to its commit sequence number and commit timestamp. Both the
+//! sequence number and the timestamp are consistent with the transaction
+//! serialization order, but the sequence numbers are unique, while commit
+//! timestamps may not be."
+//!
+//! We record every committed transaction (the paper notes that without a
+//! way to identify *relevant* transactions, all update transactions must be
+//! recorded — that is our situation too, and it is cheap).
+
+use parking_lot::RwLock;
+use rolljoin_common::{Csn, TxnId};
+use std::collections::HashMap;
+
+/// One unit-of-work entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UowEntry {
+    pub txn: TxnId,
+    pub csn: Csn,
+    /// Microseconds since an arbitrary epoch (process start).
+    pub wallclock_micros: u64,
+}
+
+#[derive(Default)]
+struct UowInner {
+    by_txn: HashMap<TxnId, UowEntry>,
+    /// Entries in CSN order (CSNs are allocated monotonically).
+    by_csn: Vec<UowEntry>,
+}
+
+/// The unit-of-work table: txn ↔ (CSN, wallclock) mapping.
+#[derive(Default)]
+pub struct UnitOfWork {
+    inner: RwLock<UowInner>,
+}
+
+impl UnitOfWork {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a commit. Must be called in CSN order (the commit mutex in
+    /// the transaction manager guarantees this).
+    pub fn record(&self, txn: TxnId, csn: Csn, wallclock_micros: u64) {
+        let mut inner = self.inner.write();
+        debug_assert!(
+            inner.by_csn.last().is_none_or(|e| e.csn < csn),
+            "unit-of-work entries must arrive in CSN order"
+        );
+        let entry = UowEntry {
+            txn,
+            csn,
+            wallclock_micros,
+        };
+        inner.by_txn.insert(txn, entry);
+        inner.by_csn.push(entry);
+    }
+
+    /// CSN of a committed transaction.
+    pub fn csn_of(&self, txn: TxnId) -> Option<Csn> {
+        self.inner.read().by_txn.get(&txn).map(|e| e.csn)
+    }
+
+    /// Full entry for a committed transaction.
+    pub fn entry_of(&self, txn: TxnId) -> Option<UowEntry> {
+        self.inner.read().by_txn.get(&txn).copied()
+    }
+
+    /// Latest CSN whose commit wallclock is ≤ `wallclock_micros`. This is
+    /// how callers translate "refresh the view to 5:00 pm" into a CSN roll
+    /// target.
+    pub fn csn_at_or_before(&self, wallclock_micros: u64) -> Option<Csn> {
+        let inner = self.inner.read();
+        let idx = inner
+            .by_csn
+            .partition_point(|e| e.wallclock_micros <= wallclock_micros);
+        idx.checked_sub(1).map(|i| inner.by_csn[i].csn)
+    }
+
+    /// Wallclock of a given CSN.
+    pub fn wallclock_of_csn(&self, csn: Csn) -> Option<u64> {
+        let inner = self.inner.read();
+        let idx = inner.by_csn.partition_point(|e| e.csn < csn);
+        inner
+            .by_csn
+            .get(idx)
+            .filter(|e| e.csn == csn)
+            .map(|e| e.wallclock_micros)
+    }
+
+    /// Number of recorded commits.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_csn.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_looks_up() {
+        let u = UnitOfWork::new();
+        u.record(TxnId(10), 1, 100);
+        u.record(TxnId(11), 2, 100); // same wallclock, distinct CSN (paper §5)
+        u.record(TxnId(12), 3, 250);
+        assert_eq!(u.csn_of(TxnId(11)), Some(2));
+        assert_eq!(u.csn_of(TxnId(99)), None);
+        assert_eq!(u.wallclock_of_csn(3), Some(250));
+        assert_eq!(u.wallclock_of_csn(4), None);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn wallclock_to_csn_translation() {
+        let u = UnitOfWork::new();
+        u.record(TxnId(1), 1, 100);
+        u.record(TxnId(2), 2, 100);
+        u.record(TxnId(3), 3, 300);
+        assert_eq!(u.csn_at_or_before(99), None);
+        assert_eq!(u.csn_at_or_before(100), Some(2), "ties take the later CSN");
+        assert_eq!(u.csn_at_or_before(200), Some(2));
+        assert_eq!(u.csn_at_or_before(1000), Some(3));
+    }
+}

@@ -1,0 +1,21 @@
+//! `rolljoin-workload` — seeded workload generators and a concurrent
+//! scenario runner for the rolling-join-propagation experiments.
+//!
+//! * [`schemas`] — the experiment schemas: a two-way join, an `n`-way
+//!   chain join, and the hot-fact/cold-dimension **star schema** that
+//!   motivates per-relation propagation intervals (paper §3.4).
+//! * [`updates`] — reproducible per-table update streams (insert /
+//!   delete / update mixes, optional Zipfian victim skew).
+//! * [`scenario`] — foreground updater threads with latency percentile
+//!   collection, used to measure maintenance/updater contention (E9).
+//! * [`zipf`] — a small seeded Zipf sampler.
+
+pub mod scenario;
+pub mod schemas;
+pub mod updates;
+pub mod zipf;
+
+pub use scenario::{aggregate, run_updaters, UpdaterReport};
+pub use schemas::{Chain, Star, TwoWay};
+pub use updates::{int_pair_stream, TableStream, UpdateMix};
+pub use zipf::Zipf;

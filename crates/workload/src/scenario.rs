@@ -1,0 +1,158 @@
+//! Concurrent scenario runner: foreground updater threads with latency
+//! collection, used by the contention experiments (E9).
+
+use crate::updates::TableStream;
+use rolljoin_storage::Engine;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency distribution summary of one updater thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdaterReport {
+    /// Committed transactions.
+    pub ops: u64,
+    /// Transactions aborted by lock timeout (deadlock resolution).
+    pub aborts: u64,
+    /// Wall time the thread ran.
+    pub elapsed: Duration,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+}
+
+impl UpdaterReport {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Aggregate several per-thread reports (latencies pooled approximately by
+/// taking the worst percentile across threads — conservative but stable).
+pub fn aggregate(reports: &[UpdaterReport]) -> UpdaterReport {
+    assert!(!reports.is_empty());
+    UpdaterReport {
+        ops: reports.iter().map(|r| r.ops).sum(),
+        aborts: reports.iter().map(|r| r.aborts).sum(),
+        elapsed: reports.iter().map(|r| r.elapsed).max().unwrap(),
+        p50: reports.iter().map(|r| r.p50).max().unwrap(),
+        p95: reports.iter().map(|r| r.p95).max().unwrap(),
+        p99: reports.iter().map(|r| r.p99).max().unwrap(),
+        max: reports.iter().map(|r| r.max).max().unwrap(),
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run updater threads until `stop_after` elapses (or `ops_per_thread`
+/// transactions commit, whichever comes first), each thread driving its
+/// own [`TableStream`]s round-robin. Lock-timeout aborts are counted and
+/// retried with a fresh operation.
+pub fn run_updaters(
+    engine: &Engine,
+    streams_per_thread: Vec<Vec<TableStream>>,
+    ops_per_thread: u64,
+    stop_after: Duration,
+    pace: Option<Duration>,
+) -> Vec<UpdaterReport> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for mut streams in streams_per_thread {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut latencies: Vec<Duration> = Vec::new();
+            let mut ops = 0u64;
+            let mut aborts = 0u64;
+            let mut k = 0usize;
+            while ops < ops_per_thread
+                && started.elapsed() < stop_after
+                && !stop.load(Ordering::Acquire)
+            {
+                let i = k % streams.len();
+                k += 1;
+                let t0 = Instant::now();
+                match streams[i].step(&engine) {
+                    Ok(_) => {
+                        latencies.push(t0.elapsed());
+                        ops += 1;
+                    }
+                    Err(rolljoin_common::Error::LockTimeout { .. }) => {
+                        aborts += 1;
+                    }
+                    Err(e) => panic!("updater failed: {e}"),
+                }
+                if let Some(p) = pace {
+                    std::thread::sleep(p);
+                }
+            }
+            latencies.sort();
+            UpdaterReport {
+                ops,
+                aborts,
+                elapsed: started.elapsed(),
+                p50: percentile(&latencies, 0.50),
+                p95: percentile(&latencies, 0.95),
+                p99: percentile(&latencies, 0.99),
+                max: latencies.last().copied().unwrap_or(Duration::ZERO),
+            }
+        }));
+    }
+    let reports: Vec<UpdaterReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("updater thread panicked"))
+        .collect();
+    stop.store(true, Ordering::Release);
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updates::{int_pair_stream, UpdateMix};
+    use rolljoin_common::{ColumnType, Schema};
+
+    #[test]
+    fn updaters_run_and_report() {
+        let e = Engine::new();
+        let t = e
+            .create_table(
+                "u",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        let streams = vec![
+            vec![int_pair_stream(t, 1, UpdateMix::default(), 50)],
+            vec![int_pair_stream(t, 2, UpdateMix::default(), 50)],
+        ];
+        let reports = run_updaters(&e, streams, 100, Duration::from_secs(10), None);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.ops, 100);
+            assert!(r.p50 <= r.p99);
+            assert!(r.p99 <= r.max);
+            assert!(r.throughput() > 0.0);
+        }
+        let agg = aggregate(&reports);
+        assert_eq!(agg.ops, 200);
+    }
+
+    #[test]
+    fn percentile_math() {
+        let d: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&d, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&d, 1.0), Duration::from_millis(100));
+        let p50 = percentile(&d, 0.5);
+        assert!(p50 >= Duration::from_millis(49) && p50 <= Duration::from_millis(52));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+}

@@ -1,0 +1,252 @@
+//! Experiment schemas: two-way join, n-way chain join, and the star schema
+//! that motivates rolling propagation (paper §3.4).
+
+use rolljoin_common::{ColumnType, Result, Schema, TableId};
+use rolljoin_core::{MaintCtx, MaterializedView, ViewDef};
+use rolljoin_relalg::JoinSpec;
+use rolljoin_storage::Engine;
+use std::sync::Arc;
+
+/// A registered two-way join view `R(a,b) ⋈ S(b,c) → (a,c)`.
+pub struct TwoWay {
+    pub engine: Engine,
+    pub r: TableId,
+    pub s: TableId,
+    pub mv: Arc<MaterializedView>,
+}
+
+impl TwoWay {
+    /// Create tables and register the view.
+    pub fn setup(name: &str) -> Result<TwoWay> {
+        let engine = Engine::new();
+        let r = engine.create_table(
+            &format!("{name}_r"),
+            Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+        )?;
+        let s = engine.create_table(
+            &format!("{name}_s"),
+            Schema::new([("b", ColumnType::Int), ("c", ColumnType::Int)]),
+        )?;
+        // Indexes on the join columns (paper substrate: DB2 would have
+        // them; propagation queries probe them with delta keys).
+        engine.create_index(r, 1)?;
+        engine.create_index(s, 0)?;
+        let view = ViewDef::new(
+            &engine,
+            name,
+            vec![r, s],
+            JoinSpec {
+                slot_schemas: vec![engine.schema(r)?, engine.schema(s)?],
+                equi: vec![(1, 2)],
+                filter: None,
+                projection: vec![0, 3],
+            },
+        )?;
+        let mv = MaterializedView::register(&engine, view)?;
+        Ok(TwoWay { engine, r, s, mv })
+    }
+
+    /// Maintenance context for this view.
+    pub fn ctx(&self) -> MaintCtx {
+        MaintCtx::new(self.engine.clone(), self.mv.clone())
+    }
+}
+
+/// An `n`-way chain join `R1(k0,k1) ⋈ R2(k1,k2) ⋈ … ⋈ Rn(k_{n-1},k_n)`
+/// projected to `(k0, k_n)` — used by the Eq. 1 / Eq. 2 query-count
+/// experiments (E4, E5).
+pub struct Chain {
+    pub engine: Engine,
+    pub tables: Vec<TableId>,
+    pub mv: Arc<MaterializedView>,
+}
+
+impl Chain {
+    /// Create an `n`-way chain (n ≥ 1).
+    pub fn setup(name: &str, n: usize) -> Result<Chain> {
+        let engine = Engine::new();
+        let mut tables = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = engine.create_table(
+                &format!("{name}_r{i}"),
+                Schema::new([
+                    (format!("k{i}"), ColumnType::Int),
+                    (format!("k{}", i + 1), ColumnType::Int),
+                ]),
+            )?;
+            engine.create_index(t, 0)?;
+            engine.create_index(t, 1)?;
+            tables.push(t);
+        }
+        let slot_schemas: Vec<Schema> = tables
+            .iter()
+            .map(|t| engine.schema(*t))
+            .collect::<Result<_>>()?;
+        // Slot i's columns are (2i, 2i+1); join column 2i+1 with 2(i+1).
+        let equi: Vec<(usize, usize)> = (0..n.saturating_sub(1))
+            .map(|i| (2 * i + 1, 2 * (i + 1)))
+            .collect();
+        let view = ViewDef::new(
+            &engine,
+            name,
+            tables.clone(),
+            JoinSpec {
+                slot_schemas,
+                equi,
+                filter: None,
+                projection: vec![0, 2 * n - 1],
+            },
+        )?;
+        let mv = MaterializedView::register(&engine, view)?;
+        Ok(Chain { engine, tables, mv })
+    }
+
+    pub fn ctx(&self) -> MaintCtx {
+        MaintCtx::new(self.engine.clone(), self.mv.clone())
+    }
+}
+
+/// The star schema of paper §3.4: a hot central fact table and `d` cold
+/// dimension tables. Fact: `(fk_1, …, fk_d, measure)`; dimension `i`:
+/// `(pk, attr)`. The view joins the fact with every dimension and projects
+/// the measure plus every dimension attribute.
+pub struct Star {
+    pub engine: Engine,
+    pub fact: TableId,
+    pub dims: Vec<TableId>,
+    pub mv: Arc<MaterializedView>,
+    /// Rows per dimension (key domain for fact foreign keys).
+    pub dim_size: usize,
+}
+
+impl Star {
+    /// Create a star with `d` dimensions of `dim_size` rows each
+    /// (dimension rows are loaded here; facts are the workload's job).
+    pub fn setup(name: &str, d: usize, dim_size: usize) -> Result<Star> {
+        assert!(d >= 1, "star needs at least one dimension");
+        let engine = Engine::new();
+        let mut fact_cols: Vec<(String, ColumnType)> = (1..=d)
+            .map(|i| (format!("fk_{i}"), ColumnType::Int))
+            .collect();
+        fact_cols.push(("measure".to_string(), ColumnType::Int));
+        let fact = engine.create_table(&format!("{name}_fact"), Schema::new(fact_cols))?;
+        let mut dims = Vec::with_capacity(d);
+        for i in 1..=d {
+            let dim = engine.create_table(
+                &format!("{name}_dim{i}"),
+                Schema::new([("pk", ColumnType::Int), ("attr", ColumnType::Int)]),
+            )?;
+            dims.push(dim);
+        }
+        for (i, dim) in dims.iter().enumerate() {
+            engine.create_index(*dim, 0)?;
+            engine.create_index(fact, i)?;
+        }
+        // Load dimensions.
+        for dim in &dims {
+            let mut txn = engine.begin();
+            for pk in 0..dim_size {
+                txn.insert(
+                    *dim,
+                    rolljoin_common::tup![pk as i64, (pk as i64) * 10],
+                )?;
+            }
+            txn.commit()?;
+        }
+
+        // View: fact ⋈ dim_1 ⋈ … ⋈ dim_d.
+        let mut slots = vec![fact];
+        slots.extend(dims.iter().copied());
+        let slot_schemas: Vec<Schema> = slots
+            .iter()
+            .map(|t| engine.schema(*t))
+            .collect::<Result<_>>()?;
+        let fact_arity = d + 1;
+        // Global columns: fact = [0, fact_arity); dim_i starts at
+        // fact_arity + 2(i-1).
+        let equi: Vec<(usize, usize)> = (0..d)
+            .map(|i| (i, fact_arity + 2 * i))
+            .collect();
+        let mut projection = vec![d]; // measure
+        projection.extend((0..d).map(|i| fact_arity + 2 * i + 1)); // attrs
+        let view = ViewDef::new(
+            &engine,
+            name,
+            slots,
+            JoinSpec {
+                slot_schemas,
+                equi,
+                filter: None,
+                projection,
+            },
+        )?;
+        let mv = MaterializedView::register(&engine, view)?;
+        Ok(Star {
+            engine,
+            fact,
+            dims,
+            mv,
+            dim_size,
+        })
+    }
+
+    pub fn ctx(&self) -> MaintCtx {
+        MaintCtx::new(self.engine.clone(), self.mv.clone())
+    }
+
+    /// Number of relations in the view (1 fact + d dimensions).
+    pub fn n(&self) -> usize {
+        1 + self.dims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolljoin_common::tup;
+    use rolljoin_core::{materialize, oracle};
+
+    #[test]
+    fn two_way_setup_works() {
+        let w = TwoWay::setup("t2").unwrap();
+        let ctx = w.ctx();
+        let mut txn = ctx.engine.begin();
+        txn.insert(w.r, tup![1, 5]).unwrap();
+        txn.insert(w.s, tup![5, 50]).unwrap();
+        txn.commit().unwrap();
+        materialize(&ctx).unwrap();
+        let got = oracle::mv_state(&ctx.engine, &ctx.mv).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[&tup![1, 50]], 1);
+    }
+
+    #[test]
+    fn chain_setup_joins_end_to_end() {
+        let c = Chain::setup("c4", 4).unwrap();
+        let ctx = c.ctx();
+        let mut txn = ctx.engine.begin();
+        for (i, t) in c.tables.iter().enumerate() {
+            txn.insert(*t, tup![i as i64, (i + 1) as i64]).unwrap();
+        }
+        txn.commit().unwrap();
+        materialize(&ctx).unwrap();
+        let got = oracle::mv_state(&ctx.engine, &ctx.mv).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[&tup![0, 4]], 1);
+    }
+
+    #[test]
+    fn star_setup_dimensions_loaded_and_join_works() {
+        let s = Star::setup("s3", 3, 10).unwrap();
+        let ctx = s.ctx();
+        assert_eq!(s.n(), 4);
+        let mut txn = ctx.engine.begin();
+        txn.insert(s.fact, tup![1, 2, 3, 500]).unwrap();
+        txn.commit().unwrap();
+        materialize(&ctx).unwrap();
+        let got = oracle::mv_state(&ctx.engine, &ctx.mv).unwrap();
+        assert_eq!(got.len(), 1);
+        // measure, attr of dim1 pk=1, dim2 pk=2, dim3 pk=3.
+        assert_eq!(got[&tup![500, 10, 20, 30]], 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Update-stream generation.
+//!
+//! A [`TableStream`] produces insert/delete/update transactions for one
+//! table, tracking its own live tuples so every delete is valid. Streams
+//! are seeded, so experiments are reproducible run to run.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rolljoin_common::{Result, TableId, Tuple};
+use rolljoin_storage::Engine;
+
+/// Tuple factory used by [`TableStream`]: `(rng, sequence number) → tuple`.
+pub type TupleFactory = Box<dyn FnMut(&mut StdRng, u64) -> Tuple + Send>;
+
+/// Fractions of operation kinds; must sum to ≤ 1.0 (the remainder goes to
+/// inserts).
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateMix {
+    pub delete_frac: f64,
+    pub update_frac: f64,
+}
+
+impl Default for UpdateMix {
+    fn default() -> Self {
+        UpdateMix {
+            delete_frac: 0.2,
+            update_frac: 0.2,
+        }
+    }
+}
+
+/// One table's seeded update stream.
+pub struct TableStream {
+    pub table: TableId,
+    rng: StdRng,
+    mix: UpdateMix,
+    make: TupleFactory,
+    live: Vec<Tuple>,
+    seq: u64,
+    zipf: Option<Zipf>,
+}
+
+impl TableStream {
+    /// Create a stream for `table`; `make` builds fresh tuples.
+    pub fn new(
+        table: TableId,
+        seed: u64,
+        mix: UpdateMix,
+        make: impl FnMut(&mut StdRng, u64) -> Tuple + Send + 'static,
+    ) -> Self {
+        TableStream {
+            table,
+            rng: StdRng::seed_from_u64(seed),
+            mix,
+            make: Box::new(make),
+            live: Vec::new(),
+            seq: 0,
+            zipf: None,
+        }
+    }
+
+    /// Pick delete/update victims with Zipfian skew over the live list
+    /// instead of uniformly.
+    pub fn with_zipf_victims(mut self, theta: f64, domain_hint: usize) -> Self {
+        self.zipf = Some(Zipf::new(domain_hint.max(1), theta));
+        self
+    }
+
+    fn pick_victim(&mut self) -> Option<usize> {
+        if self.live.is_empty() {
+            return None;
+        }
+        Some(match &self.zipf {
+            Some(z) => z.sample(&mut self.rng) % self.live.len(),
+            None => self.rng.gen_range(0..self.live.len()),
+        })
+    }
+
+    /// Apply one single-operation transaction; returns its commit CSN.
+    pub fn step(&mut self, engine: &Engine) -> Result<u64> {
+        let roll: f64 = self.rng.gen();
+        let mut txn = engine.begin();
+        if roll < self.mix.delete_frac {
+            if let Some(i) = self.pick_victim() {
+                let victim = self.live.swap_remove(i);
+                txn.delete_one(self.table, &victim)?;
+                return txn.commit();
+            }
+        } else if roll < self.mix.delete_frac + self.mix.update_frac {
+            if let Some(i) = self.pick_victim() {
+                let old = self.live[i].clone();
+                self.seq += 1;
+                let new = (self.make)(&mut self.rng, self.seq);
+                txn.update(self.table, &old, new.clone())?;
+                self.live[i] = new;
+                return txn.commit();
+            }
+        }
+        // Insert (also the fallback when there is nothing to delete/update).
+        self.seq += 1;
+        let t = (self.make)(&mut self.rng, self.seq);
+        txn.insert(self.table, t.clone())?;
+        self.live.push(t);
+        txn.commit()
+    }
+
+    /// Bulk-load `n` tuples in one transaction (initial population).
+    pub fn load(&mut self, engine: &Engine, n: usize) -> Result<u64> {
+        let mut txn = engine.begin();
+        for _ in 0..n {
+            self.seq += 1;
+            let t = (self.make)(&mut self.rng, self.seq);
+            txn.insert(self.table, t.clone())?;
+            self.live.push(t);
+        }
+        txn.commit()
+    }
+
+    /// Number of live tuples the stream believes exist.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Convenience factory: tuples `(key_fn(seq), payload_fn(rng))` for two-int
+/// tables — the shape of every experiment schema's tables.
+pub fn int_pair_stream(
+    table: TableId,
+    seed: u64,
+    mix: UpdateMix,
+    key_domain: i64,
+) -> TableStream {
+    TableStream::new(table, seed, mix, move |rng, seq| {
+        rolljoin_common::tup![seq as i64, rng.gen_range(0..key_domain)]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolljoin_common::{ColumnType, Schema};
+
+    fn engine() -> (Engine, TableId) {
+        let e = Engine::new();
+        let t = e
+            .create_table(
+                "w",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        (e, t)
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let (e1, t1) = engine();
+        let (e2, t2) = engine();
+        let mut s1 = int_pair_stream(t1, 99, UpdateMix::default(), 10);
+        let mut s2 = int_pair_stream(t2, 99, UpdateMix::default(), 10);
+        for _ in 0..200 {
+            s1.step(&e1).unwrap();
+            s2.step(&e2).unwrap();
+        }
+        let mut a = e1.begin();
+        let mut b = e2.begin();
+        let mut r1 = a.scan(t1).unwrap();
+        let mut r2 = b.scan(t2).unwrap();
+        r1.sort();
+        r2.sort();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn deletes_and_updates_are_always_valid() {
+        let (e, t) = engine();
+        let mut s = TableStream::new(
+            t,
+            5,
+            UpdateMix {
+                delete_frac: 0.45,
+                update_frac: 0.3,
+            },
+            |rng, seq| rolljoin_common::tup![seq as i64, rng.gen_range(0..5i64)],
+        );
+        for _ in 0..500 {
+            s.step(&e).unwrap(); // would Err on an invalid delete
+        }
+        assert_eq!(e.table_len(t).unwrap(), s.live_count() as u64);
+    }
+
+    #[test]
+    fn load_bulk_populates() {
+        let (e, t) = engine();
+        let mut s = int_pair_stream(t, 1, UpdateMix::default(), 100);
+        s.load(&e, 250).unwrap();
+        assert_eq!(e.table_len(t).unwrap(), 250);
+        assert_eq!(s.live_count(), 250);
+    }
+
+    #[test]
+    fn zipf_victims_work() {
+        let (e, t) = engine();
+        let mut s = int_pair_stream(
+            t,
+            5,
+            UpdateMix {
+                delete_frac: 0.5,
+                update_frac: 0.0,
+            },
+            100,
+        )
+        .with_zipf_victims(0.99, 1000);
+        s.load(&e, 100).unwrap();
+        for _ in 0..100 {
+            s.step(&e).unwrap();
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! A small Zipf sampler (no external distribution crate).
+//!
+//! Uses a precomputed CDF over a bounded domain — fine for the domain
+//! sizes the experiments use (≤ 10^6) and exactly reproducible from a
+//! seed.
+
+use rand::Rng;
+
+/// Zipf-distributed ranks over `1..=n` with exponent `theta` (0 =
+/// uniform; 0.99 = classic YCSB-style skew).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(theta >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n` (0 is the hottest).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "uniform-ish: {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_high() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hot = 0usize;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 5 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 5_000, "top 5 of 100 should dominate, got {hot}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

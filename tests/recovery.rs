@@ -1,0 +1,175 @@
+//! Crash recovery: the engine rebuilds its catalog, table contents,
+//! indexes, delta history, and unit-of-work table from the WAL alone; the
+//! control-table layer restores each view's materialization time; and
+//! maintenance resumes — re-propagating the (soft) view delta from the
+//! restored materialization time — with oracle-exact results.
+
+use rolljoin::common::{tup, TimeInterval};
+use rolljoin::core::{
+    materialize, oracle, roll_to, MaintCtx, MaterializedView, Propagator, RollingPropagator,
+    UniformInterval,
+};
+use rolljoin::storage::Engine;
+use rolljoin::workload::TwoWay;
+
+fn crash(engine: &Engine) -> Engine {
+    // A "crash" is: take the current WAL image, drop everything else.
+    Engine::recover_from_bytes(&engine.wal().snapshot_bytes()).unwrap()
+}
+
+#[test]
+fn catalog_and_contents_survive_recovery() {
+    let w = TwoWay::setup("rec").unwrap();
+    let mut txn = w.engine.begin();
+    txn.insert(w.r, tup![1, 10]).unwrap();
+    txn.insert(w.r, tup![1, 10]).unwrap();
+    txn.insert(w.s, tup![10, 100]).unwrap();
+    txn.commit().unwrap();
+    // An in-flight transaction at crash time must vanish.
+    let mut doomed = w.engine.begin();
+    doomed.insert(w.r, tup![666, 666]).unwrap();
+    std::mem::forget(doomed); // simulate dying mid-transaction
+
+    let e2 = crash(&w.engine);
+    let r2 = e2.table_id("rec_r").unwrap();
+    let s2 = e2.table_id("rec_s").unwrap();
+    assert_eq!(r2, w.r);
+    assert_eq!(e2.schema(r2).unwrap(), w.engine.schema(w.r).unwrap());
+    assert_eq!(e2.table_len(r2).unwrap(), 2);
+    assert_eq!(e2.table_len(s2).unwrap(), 1);
+    // Indexes were re-created (TwoWay::setup made them).
+    assert!(e2.has_index(r2, 1).unwrap());
+    assert!(e2.has_index(s2, 0).unwrap());
+    // The uncommitted row is gone.
+    let mut txn = e2.begin();
+    assert_eq!(txn.count_of(r2, &tup![666, 666]).unwrap(), 0);
+    // CSN clock continues, not restarts.
+    assert_eq!(e2.current_csn(), w.engine.current_csn());
+}
+
+#[test]
+fn delta_history_and_time_travel_survive() {
+    let w = TwoWay::setup("rec2").unwrap();
+    let mut txn = w.engine.begin();
+    txn.insert(w.r, tup![1, 1]).unwrap();
+    let c1 = txn.commit().unwrap();
+    let mut txn = w.engine.begin();
+    txn.delete_one(w.r, &tup![1, 1]).unwrap();
+    let c2 = txn.commit().unwrap();
+
+    let e2 = crash(&w.engine);
+    // Recovery replays capture over the whole log.
+    assert_eq!(e2.capture_hwm(), c2);
+    let rows = e2.delta_range(w.r, TimeInterval::new(0, c2)).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[1].count, -1);
+    let at1 = e2.scan_asof(w.r, c1).unwrap();
+    assert_eq!(at1[&tup![1, 1]], 1);
+    assert!(e2.scan_asof(w.r, c2).unwrap().is_empty());
+    // Unit-of-work survived.
+    assert!(e2.uow().wallclock_of_csn(c1).is_some());
+}
+
+#[test]
+fn maintenance_resumes_after_crash() {
+    // Full lifecycle: materialize, propagate, roll, crash, reattach,
+    // continue updating/propagating/rolling — always oracle-exact.
+    let w = TwoWay::setup("rec3").unwrap();
+    let ctx = w.ctx();
+    let mut txn = ctx.engine.begin();
+    txn.insert(w.r, tup![1, 5]).unwrap();
+    txn.insert(w.s, tup![5, 50]).unwrap();
+    txn.commit().unwrap();
+    let mat = materialize(&ctx).unwrap();
+    for i in 0..10i64 {
+        let mut txn = ctx.engine.begin();
+        txn.insert(w.r, tup![i, i % 4]).unwrap();
+        txn.commit().unwrap();
+        let mut txn = ctx.engine.begin();
+        txn.insert(w.s, tup![i % 4, 100 + i]).unwrap();
+        txn.commit().unwrap();
+    }
+    let mid = ctx.engine.current_csn();
+    let mut prop = Propagator::new(ctx.clone(), mat);
+    prop.propagate_to(mid, 4).unwrap();
+    roll_to(&ctx, mid).unwrap();
+
+    // CRASH. The view delta and in-memory control state evaporate; the
+    // WAL (and therefore MV contents + the persistent control row) remain.
+    let e2 = crash(&ctx.engine);
+    let view2 = rolljoin::core::ViewDef::new(
+        &e2,
+        "rec3",
+        vec![e2.table_id("rec3_r").unwrap(), e2.table_id("rec3_s").unwrap()],
+        (*ctx.mv.view).clone().spec,
+    )
+    .unwrap();
+    let mv2 = MaterializedView::reattach(&e2, view2).unwrap();
+    assert_eq!(mv2.mat_time(), mid, "materialization time restored");
+    assert_eq!(mv2.hwm(), mid, "view delta is soft state; HWM resets");
+    let ctx2 = MaintCtx::new(e2.clone(), mv2);
+
+    // The recovered MV contents equal the oracle at the restored time.
+    assert_eq!(
+        oracle::mv_state(&e2, &ctx2.mv).unwrap(),
+        oracle::view_at(&e2, &ctx2.mv.view, mid).unwrap()
+    );
+
+    // Life goes on: more updates, rolling propagation, roll to the end.
+    let (r2, s2) = (ctx2.mv.view.bases[0], ctx2.mv.view.bases[1]);
+    for i in 0..8i64 {
+        let mut txn = e2.begin();
+        txn.insert(r2, tup![100 + i, i % 4]).unwrap();
+        txn.commit().unwrap();
+        if i % 2 == 0 {
+            let mut txn = e2.begin();
+            txn.delete_one(s2, &tup![i % 4, 100 + i]).unwrap();
+            txn.commit().unwrap();
+        }
+    }
+    let end = e2.current_csn();
+    let mut rp = RollingPropagator::new(ctx2.clone(), mid);
+    rp.drain_to(end, &mut UniformInterval(3)).unwrap();
+    roll_to(&ctx2, end).unwrap();
+    e2.capture_catch_up().unwrap();
+    assert_eq!(
+        oracle::mv_state(&e2, &ctx2.mv).unwrap(),
+        oracle::view_at(&e2, &ctx2.mv.view, end).unwrap()
+    );
+}
+
+#[test]
+fn wal_file_round_trip() {
+    let dir = std::env::temp_dir().join(format!("rolljoin_rec_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.wal");
+
+    let w = TwoWay::setup("recf").unwrap();
+    let mut txn = w.engine.begin();
+    txn.insert(w.r, tup![7, 7]).unwrap();
+    txn.commit().unwrap();
+    w.engine.save_wal(&path).unwrap();
+
+    let e2 = Engine::open(&path).unwrap();
+    let r2 = e2.table_id("recf_r").unwrap();
+    assert_eq!(e2.table_len(r2).unwrap(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_tolerates_torn_tail() {
+    let w = TwoWay::setup("rect").unwrap();
+    let mut txn = w.engine.begin();
+    txn.insert(w.r, tup![1, 1]).unwrap();
+    txn.commit().unwrap();
+    let mut txn = w.engine.begin();
+    txn.insert(w.r, tup![2, 2]).unwrap();
+    txn.commit().unwrap();
+    let bytes = w.engine.wal().snapshot_bytes();
+    // Tear mid-way through the final frame (the last commit record).
+    let torn = &bytes[..bytes.len() - 3];
+    let e2 = Engine::recover_from_bytes(torn).unwrap();
+    let r2 = e2.table_id("rect_r").unwrap();
+    // The torn commit's transaction is treated as uncommitted.
+    assert_eq!(e2.table_len(r2).unwrap(), 1);
+}
