@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: everything a reviewer runs before trusting a change.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

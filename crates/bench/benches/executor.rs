@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rolljoin_common::{tup, ColumnType, DeltaRow, Schema};
-use rolljoin_relalg::{exec, net_effect, JoinSpec};
+use rolljoin_relalg::{exec, net_effect, ops, JoinSpec};
 
 fn rows(n: usize, keys: i64) -> Vec<DeltaRow> {
     (0..n)
@@ -37,8 +37,7 @@ fn bench_join(c: &mut Criterion) {
         g.throughput(Throughput::Elements(2 * size as u64));
         g.bench_function(format!("two_way_{size}x{size}"), |b| {
             b.iter(|| {
-                let (out, _) =
-                    exec::execute(vec![r.clone(), s.clone()], &spec(), 1).unwrap();
+                let (out, _) = exec::execute(vec![r.clone(), s.clone()], &spec(), 1).unwrap();
                 out.len()
             });
         });
@@ -74,7 +73,13 @@ fn bench_net_effect(c: &mut Criterion) {
     let mut g = c.benchmark_group("net_effect");
     g.sample_size(20);
     let rows: Vec<DeltaRow> = (0..100_000)
-        .map(|i| DeltaRow::change(i as u64 + 1, if i % 3 == 0 { -1 } else { 1 }, tup![(i as i64) % 5_000]))
+        .map(|i| {
+            DeltaRow::change(
+                i as u64 + 1,
+                if i % 3 == 0 { -1 } else { 1 },
+                tup![(i as i64) % 5_000],
+            )
+        })
         .collect();
     g.throughput(Throughput::Elements(rows.len() as u64));
     g.bench_function("phi_100k_rows_5k_groups", |b| {
@@ -83,5 +88,44 @@ fn bench_net_effect(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_join, bench_delta_join, bench_net_effect);
+fn bench_row_ops(c: &mut Criterion) {
+    // Guards the in-place row operators: negate/scale mutate counts
+    // without reallocating, and identity projections keep the original
+    // tuple allocation (an `Arc` bump instead of a rebuild). Compensation
+    // queries run every row through negate+project, so a regression here
+    // taxes every propagation step.
+    let mut g = c.benchmark_group("row_ops");
+    g.sample_size(20);
+    let rows: Vec<DeltaRow> = (0..100_000)
+        .map(|i| DeltaRow::change(i as u64 + 1, 1, tup![i as i64, (i as i64) % 97]))
+        .collect();
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("negate_scale_100k", |b| {
+        b.iter(|| {
+            let it = ops::scale(ops::negate(ops::scan(rows.clone())), 3);
+            it.map(|r| r.count).sum::<i64>()
+        });
+    });
+    g.bench_function("identity_project_100k", |b| {
+        b.iter(|| {
+            let it = ops::project(ops::scan(rows.clone()), vec![0, 1]);
+            it.count()
+        });
+    });
+    g.bench_function("narrowing_project_100k", |b| {
+        b.iter(|| {
+            let it = ops::project(ops::scan(rows.clone()), vec![1]);
+            it.count()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join,
+    bench_delta_join,
+    bench_net_effect,
+    bench_row_ops
+);
 criterion_main!(benches);

@@ -92,5 +92,10 @@ fn bench_apply(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_propagate_interval, bench_rolling_interval, bench_apply);
+criterion_group!(
+    benches,
+    bench_propagate_interval,
+    bench_rolling_interval,
+    bench_apply
+);
 criterion_main!(benches);

@@ -88,7 +88,12 @@ pub fn e14() -> Result<()> {
         let got = oracle::mv_state(&ctx.engine, &ctx.mv)?;
         let want = oracle::view_at(&ctx.engine, &ctx.mv.view, end)?;
         t.row(vec![
-            if indexed { "yes (pushdown)" } else { "no (full scans)" }.to_string(),
+            if indexed {
+                "yes (pushdown)"
+            } else {
+                "no (full scans)"
+            }
+            .to_string(),
             snap.base_rows_read.to_string(),
             snap.delta_rows_read.to_string(),
             snap.max_txn_rows.to_string(),
@@ -125,9 +130,7 @@ pub fn e15() -> Result<()> {
         let mut end = mat;
         for i in 0..2_000i64 {
             let mut txn = star.engine.begin();
-            let mut vals: Vec<Value> = (0..2)
-                .map(|_| Value::Int(rng.gen_range(0..100)))
-                .collect();
+            let mut vals: Vec<Value> = (0..2).map(|_| Value::Int(rng.gen_range(0..100))).collect();
             vals.push(Value::Int(i));
             txn.insert(star.fact, Tuple::from(vals))?;
             end = txn.commit()?;

@@ -82,11 +82,7 @@ pub fn e11() -> Result<()> {
             let mut txn = star.engine.begin();
             txn.insert(
                 star.fact,
-                rolljoin_common::tup![
-                    rng.gen_range(0..50i64),
-                    rng.gen_range(0..50i64),
-                    i as i64
-                ],
+                rolljoin_common::tup![rng.gen_range(0..50i64), rng.gen_range(0..50i64), i as i64],
             )?;
             end = txn.commit()?;
         }

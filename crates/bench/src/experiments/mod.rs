@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod ablation2;
 pub mod apply_exp;
 pub mod contention;
+pub mod parallel_exp;
 pub mod refresh;
 pub mod rolling_exp;
 pub mod sync_async;
@@ -21,20 +22,77 @@ pub type Experiment = (&'static str, &'static str, fn() -> Result<()>);
 pub fn all() -> Vec<Experiment> {
     vec![
         ("e1", "Fig. 1 — incremental vs full refresh", refresh::e1),
-        ("e2", "Fig. 2 — propagate/apply split defers cost", refresh::e2),
-        ("e3", "Fig. 3 — HWM trails current time; PIT window", timeline::e3),
-        ("e4", "Eq. 1 vs Eq. 2 — 2^n−1 vs n sync queries", sync_async::e4),
-        ("e5", "Fig. 4 — ComputeDelta query structure & lag cost", sync_async::e5),
-        ("e6", "Figs. 6–7 — queries tile the delta region exactly", sync_async::e6),
-        ("e7", "Figs. 8–9 — Propagate vs RollingPropagate (star)", rolling_exp::e7),
-        ("e8", "§3.3 — interval length δ: per-txn vs total work", rolling_exp::e8),
-        ("e9", "§1/Fig. 11 — contention: updaters vs maintenance", contention::e9),
-        ("e10", "§1 — point-in-time refresh cost & correctness", apply_exp::e10),
-        ("e11", "§3/§6 — summary-delta aggregation extension", apply_exp::e11),
-        ("e12", "§3.3 ablation — min-timestamp rule is load-bearing", ablation::e12),
-        ("e13", "§5 ablation — capture lag delays HWM, not correctness", timeline::e13),
-        ("e14", "ablation — index-probe semi-join pushdown", ablation2::e14),
+        (
+            "e2",
+            "Fig. 2 — propagate/apply split defers cost",
+            refresh::e2,
+        ),
+        (
+            "e3",
+            "Fig. 3 — HWM trails current time; PIT window",
+            timeline::e3,
+        ),
+        (
+            "e4",
+            "Eq. 1 vs Eq. 2 — 2^n−1 vs n sync queries",
+            sync_async::e4,
+        ),
+        (
+            "e5",
+            "Fig. 4 — ComputeDelta query structure & lag cost",
+            sync_async::e5,
+        ),
+        (
+            "e6",
+            "Figs. 6–7 — queries tile the delta region exactly",
+            sync_async::e6,
+        ),
+        (
+            "e7",
+            "Figs. 8–9 — Propagate vs RollingPropagate (star)",
+            rolling_exp::e7,
+        ),
+        (
+            "e8",
+            "§3.3 — interval length δ: per-txn vs total work",
+            rolling_exp::e8,
+        ),
+        (
+            "e9",
+            "§1/Fig. 11 — contention: updaters vs maintenance",
+            contention::e9,
+        ),
+        (
+            "e10",
+            "§1 — point-in-time refresh cost & correctness",
+            apply_exp::e10,
+        ),
+        (
+            "e11",
+            "§3/§6 — summary-delta aggregation extension",
+            apply_exp::e11,
+        ),
+        (
+            "e12",
+            "§3.3 ablation — min-timestamp rule is load-bearing",
+            ablation::e12,
+        ),
+        (
+            "e13",
+            "§5 ablation — capture lag delays HWM, not correctness",
+            timeline::e13,
+        ),
+        (
+            "e14",
+            "ablation — index-probe semi-join pushdown",
+            ablation2::e14,
+        ),
         ("e15", "ablation — empty-delta subtree skip", ablation2::e15),
+        (
+            "e16",
+            "parallel propagation — worker sweep + scan cache",
+            parallel_exp::e16,
+        ),
     ]
 }
 

@@ -48,7 +48,11 @@ pub fn e1() -> Result<()> {
         let (_, d_full) = timed(|| full_refresh(&ctx2).unwrap());
         let check_full = verify_cell(&ctx2);
 
-        let winner = if d_inc < d_full { "incremental" } else { "full" };
+        let winner = if d_inc < d_full {
+            "incremental"
+        } else {
+            "full"
+        };
         t.row(vec![
             format!("{frac}"),
             updates.to_string(),

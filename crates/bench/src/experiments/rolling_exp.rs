@@ -34,7 +34,11 @@ fn drive_star(star: &Star, seed: u64) -> Result<u64> {
             let dim = star.dims[rng.gen_range(0..d)];
             let pk = rng.gen_range(0..star.dim_size as i64);
             let mut txn = star.engine.begin();
-            txn.update(dim, &rolljoin_common::tup![pk, pk * 10], rolljoin_common::tup![pk, pk * 10])?;
+            txn.update(
+                dim,
+                &rolljoin_common::tup![pk, pk * 10],
+                rolljoin_common::tup![pk, pk * 10],
+            )?;
             last = txn.commit()?;
         }
     }

@@ -136,7 +136,9 @@ pub fn e5() -> Result<()> {
             if ok { "ok" } else { "MISMATCH" }.to_string(),
         ]);
     }
-    t.print("E5b (Fig. 4): compensation volume grows with propagation lag; correctness never suffers");
+    t.print(
+        "E5b (Fig. 4): compensation volume grows with propagation lag; correctness never suffers",
+    );
     Ok(())
 }
 
@@ -177,7 +179,12 @@ pub fn e6() -> Result<()> {
             raw.to_string(),
             net.len().to_string(),
             oracle_delta.len().to_string(),
-            if net == oracle_delta { "ok" } else { "MISMATCH" }.to_string(),
+            if net == oracle_delta {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
         ]);
     }
     t.print("E6 (Figs. 6–7): forward + compensation queries tile V_{a,b} exactly (net = oracle)");

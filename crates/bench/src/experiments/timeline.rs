@@ -29,7 +29,14 @@ pub fn e3() -> Result<()> {
         int_pair_stream(w.r, 31, UpdateMix::default(), 5_000),
         int_pair_stream(w.s, 32, UpdateMix::default(), 5_000),
     );
-    let mut t = Table::new(&["t (ms)", "current csn", "capture hwm", "vd hwm", "mat time", "invariant"]);
+    let mut t = Table::new(&[
+        "t (ms)",
+        "current csn",
+        "capture hwm",
+        "vd hwm",
+        "mat time",
+        "invariant",
+    ]);
     let started = Instant::now();
     let mut next_sample = Duration::from_millis(0);
     let mut violations = 0;

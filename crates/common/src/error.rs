@@ -41,10 +41,16 @@ pub enum Error {
     },
     /// Point-in-time refresh requested beyond the view-delta high-water
     /// mark (paper Fig. 3: the apply process may roll only up to the HWM).
-    BeyondHighWaterMark { requested: crate::Csn, hwm: crate::Csn },
+    BeyondHighWaterMark {
+        requested: crate::Csn,
+        hwm: crate::Csn,
+    },
     /// Roll target is before the view's current materialization time; the
     /// apply process only rolls forward.
-    RollBackward { requested: crate::Csn, current: crate::Csn },
+    RollBackward {
+        requested: crate::Csn,
+        current: crate::Csn,
+    },
     /// An invariant of the maintenance algorithms was violated (a bug).
     Internal(String),
     /// Invalid configuration or argument.

@@ -220,12 +220,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_null_first() {
-        let mut vs = [Value::str("b"),
+        let mut vs = [
+            Value::str("b"),
             Value::Int(3),
             Value::Null,
             Value::Bool(true),
             Value::Float(1.5),
-            Value::Int(-1)];
+            Value::Int(-1),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Bool(true));

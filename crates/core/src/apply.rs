@@ -55,7 +55,8 @@ pub fn materialize(ctx: &MaintCtx) -> Result<Csn> {
     // safe: the base tables are S-locked, so nothing relevant commits in
     // between, and recovery merely re-propagates an empty window.
     let conservative = ctx.engine.current_csn();
-    ctx.mv.persist_mat_time(&mut txn, &ctx.engine, conservative)?;
+    ctx.mv
+        .persist_mat_time(&mut txn, &ctx.engine, conservative)?;
     let csn = txn.commit()?;
     ctx.mv.set_mat_time(csn);
     ctx.mv.set_hwm(csn);
@@ -173,7 +174,8 @@ pub fn full_refresh(ctx: &MaintCtx) -> Result<Csn> {
     }
     // Safe for the same reason as in `materialize`.
     let conservative = ctx.engine.current_csn();
-    ctx.mv.persist_mat_time(&mut txn, &ctx.engine, conservative)?;
+    ctx.mv
+        .persist_mat_time(&mut txn, &ctx.engine, conservative)?;
     let csn = txn.commit()?;
     ctx.mv.set_mat_time(csn);
     ctx.mv.set_hwm(csn);

@@ -33,6 +33,7 @@ use crate::execute::MaintCtx;
 use crate::query::PropQuery;
 use rolljoin_common::{Csn, Result, TimeInterval};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// One outstanding `ComputeDelta` activation: propagate the delta of `q`
 /// from `tau` to `t_new` (scaled by `sign`), with slots before `next_slot`
@@ -46,10 +47,35 @@ pub struct Frame {
     next_slot: usize,
 }
 
+/// One fully-substituted constituent query, ready to execute as its own
+/// transaction. Units are what the parallel executor hands to workers:
+/// they are mutually independent (each commits separately and is
+/// compensated from its *own* execution time), so executing them in any
+/// order — or concurrently — yields the same view delta under `φ`.
+#[derive(Debug, Clone)]
+struct Unit {
+    q: PropQuery,
+    sign: i64,
+    /// Intended base-slot times (Equation 2's convention) if `q` retains a
+    /// base slot: after execution at `t_exec`, a compensation frame
+    /// `ComputeDelta(q, −sign, comp_tau, t_exec)` is scheduled. `None` for
+    /// all-delta queries, which need no compensation.
+    comp_tau: Option<Vec<Csn>>,
+}
+
+/// An item of outstanding propagation work: either a frame still to be
+/// expanded into constituent queries, or a single query re-queued after a
+/// failed (aborted, hence side-effect-free) execution.
+#[derive(Debug, Clone)]
+enum Work {
+    Expand(Frame),
+    Exec(Unit),
+}
+
 /// Resumable executor of `ComputeDelta` work.
 #[derive(Default)]
 pub struct DeltaWorker {
-    queue: VecDeque<Frame>,
+    queue: VecDeque<Work>,
 }
 
 impl DeltaWorker {
@@ -70,26 +96,136 @@ impl DeltaWorker {
     /// Schedule `ComputeDelta(q, tau, t_new)` scaled by `sign`.
     pub fn enqueue(&mut self, q: PropQuery, sign: i64, tau: Vec<Csn>, t_new: Csn) {
         debug_assert_eq!(q.n(), tau.len());
-        self.queue.push_back(Frame {
+        self.queue.push_back(Work::Expand(Frame {
             q,
             sign,
             tau,
             t_new,
             next_slot: 0,
-        });
+        }));
     }
 
-    /// Drain the queue. On error (e.g. a lock timeout), all unfinished
-    /// work — including the failing frame — remains queued; call `run`
-    /// again to resume without re-executing anything that committed.
+    /// Drain the queue with [`DeltaWorker::run`] or
+    /// [`DeltaWorker::run_parallel`] according to `ctx.tuning.workers`.
+    pub fn run_auto(&mut self, ctx: &MaintCtx) -> Result<()> {
+        if ctx.tuning.workers > 1 {
+            self.run_parallel(ctx, ctx.tuning.workers)
+        } else {
+            self.run(ctx)
+        }
+    }
+
+    /// Drain the queue sequentially. On error (e.g. a lock timeout), all
+    /// unfinished work — including the failing item — remains queued; call
+    /// `run` again to resume without re-executing anything that committed.
     pub fn run(&mut self, ctx: &MaintCtx) -> Result<()> {
-        while let Some(mut frame) = self.queue.pop_front() {
-            if let Err(e) = self.run_frame(ctx, &mut frame) {
-                self.queue.push_front(frame);
-                return Err(e);
+        while let Some(work) = self.queue.pop_front() {
+            ctx.stats.record_queue_depth(self.queue.len() as u64 + 1);
+            match work {
+                Work::Expand(mut frame) => {
+                    if let Err(e) = self.run_frame(ctx, &mut frame) {
+                        self.queue.push_front(Work::Expand(frame));
+                        return Err(e);
+                    }
+                }
+                Work::Exec(unit) => match ctx.execute(&unit.q, unit.sign) {
+                    Ok(outcome) => self.push_compensation(&unit, outcome.exec_csn),
+                    Err(e) => {
+                        self.queue.push_front(Work::Exec(unit));
+                        return Err(e);
+                    }
+                },
             }
         }
         Ok(())
+    }
+
+    /// Drain the queue with a pool of `workers` threads executing
+    /// constituent queries concurrently, each as its own strict-2PL
+    /// transaction.
+    ///
+    /// Each round: (1) expand every queued frame into its independent
+    /// single-query [`Unit`]s, (2) execute the units across the pool,
+    /// (3) enqueue the compensation frame of every success (timed by that
+    /// unit's own commit CSN) and re-queue every failure (its transaction
+    /// aborted, so re-execution cannot double-apply).
+    ///
+    /// The result is identical to [`DeltaWorker::run`] under the `φ`
+    /// net-effect: units never depend on each other's execution times —
+    /// compensation is always relative to the unit's *actual* commit CSN —
+    /// so interleaving only changes the (compensated-for) drift, not the
+    /// delta. Deadlock-freedom is preserved because every transaction
+    /// still acquires its base S locks in `TableId` order with the view
+    /// delta's X lock last.
+    pub fn run_parallel(&mut self, ctx: &MaintCtx, workers: usize) -> Result<()> {
+        loop {
+            if self.queue.is_empty() {
+                return Ok(());
+            }
+            ctx.stats.record_queue_depth(self.queue.len() as u64);
+
+            // Phase 1: expand frames into independent units. Expansion is
+            // read-only, so a failure simply re-queues the frame intact.
+            let mut units: Vec<Unit> = Vec::new();
+            let mut first_err = None;
+            while let Some(work) = self.queue.pop_front() {
+                match work {
+                    Work::Exec(u) => units.push(u),
+                    Work::Expand(frame) => match expand(ctx, &frame) {
+                        Ok(mut us) => units.append(&mut us),
+                        Err(e) => {
+                            self.queue.push_front(Work::Expand(frame));
+                            first_err = Some(e);
+                            break;
+                        }
+                    },
+                }
+            }
+            if units.is_empty() {
+                return match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                };
+            }
+
+            // Phase 2: execute the round's units across the worker pool.
+            let results = execute_units(ctx, &units, workers);
+
+            // Phase 3: successes schedule their compensation; failures go
+            // back on the queue (their transactions aborted — no durable
+            // effects — so re-running them is exactly-once).
+            let mut requeue = Vec::new();
+            for (unit, res) in units.into_iter().zip(results) {
+                match res {
+                    Ok(exec_csn) => self.push_compensation(&unit, exec_csn),
+                    Err(e) => {
+                        requeue.push(Work::Exec(unit));
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            for w in requeue.into_iter().rev() {
+                self.queue.push_front(w);
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+    }
+
+    /// Schedule the compensation frame of an executed unit, if it needs one.
+    fn push_compensation(&mut self, unit: &Unit, exec_csn: Csn) {
+        if let Some(tau) = &unit.comp_tau {
+            self.queue.push_back(Work::Expand(Frame {
+                q: unit.q.clone(),
+                sign: -unit.sign,
+                tau: tau.clone(),
+                t_new: exec_csn,
+                next_slot: 0,
+            }));
+        }
     }
 
     fn run_frame(&mut self, ctx: &MaintCtx, frame: &mut Frame) -> Result<()> {
@@ -124,17 +260,98 @@ impl DeltaWorker {
                         std::cmp::Ordering::Greater => frame.t_new,
                     })
                     .collect();
-                self.queue.push_back(Frame {
+                self.queue.push_back(Work::Expand(Frame {
                     q: q2,
                     sign: -frame.sign,
                     tau: tau_intended,
                     t_new: outcome.exec_csn,
                     next_slot: 0,
-                });
+                }));
             }
         }
         Ok(())
     }
+}
+
+/// Expand a frame into its independent constituent-query units (without
+/// executing anything). Mirrors [`DeltaWorker::run_frame`]'s slot loop:
+/// the `i`-th unit substitutes `R^i_{τ_old[i], t_new}` into slot `i` and —
+/// if base slots remain — carries the intended times that its eventual
+/// compensation must restore. Order-independent: `delta_count` reads
+/// capture-complete history that concurrent maintenance cannot change.
+fn expand(ctx: &MaintCtx, frame: &Frame) -> Result<Vec<Unit>> {
+    let n = frame.q.n();
+    ctx.ensure_captured(frame.t_new)?;
+    let mut units = Vec::new();
+    for i in frame.next_slot..n {
+        if frame.q.slots[i].is_delta() || frame.tau[i] >= frame.t_new {
+            continue;
+        }
+        let interval = TimeInterval::new(frame.tau[i], frame.t_new);
+        if ctx.skip_empty && ctx.engine.delta_count(ctx.mv.view.bases[i], interval)? == 0 {
+            continue;
+        }
+        let q2 = frame.q.with_delta(i, interval);
+        let comp_tau = if q2.slots.iter().any(|s| !s.is_delta()) {
+            Some(
+                (0..n)
+                    .map(|j| match j.cmp(&i) {
+                        std::cmp::Ordering::Less => frame.tau[j],
+                        std::cmp::Ordering::Equal => 0, // delta slot: unused
+                        std::cmp::Ordering::Greater => frame.t_new,
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        units.push(Unit {
+            q: q2,
+            sign: frame.sign,
+            comp_tau,
+        });
+    }
+    Ok(units)
+}
+
+/// Execute `units` across a pool of `workers` threads. Returns one result
+/// per unit, in unit order. Workers pull from a shared channel (work
+/// stealing by contention); each records its busy time.
+fn execute_units(ctx: &MaintCtx, units: &[Unit], workers: usize) -> Vec<Result<Csn>> {
+    let workers = workers.min(units.len()).max(1);
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, &Unit)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Result<Csn>)>();
+    for item in units.iter().enumerate() {
+        work_tx.send(item).expect("receiver alive");
+    }
+    drop(work_tx);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            s.spawn(move || {
+                let mut busy = 0u64;
+                while let Ok((i, unit)) = work_rx.recv() {
+                    let start = Instant::now();
+                    let res = ctx.execute(&unit.q, unit.sign).map(|o| o.exec_csn);
+                    busy += start.elapsed().as_nanos() as u64;
+                    if res_tx.send((i, res)).is_err() {
+                        break;
+                    }
+                }
+                ctx.stats.record_worker_busy(busy);
+            });
+        }
+    });
+    drop(res_tx);
+    let mut results: Vec<Option<Result<Csn>>> = units.iter().map(|_| None).collect();
+    for (i, res) in res_rx.iter() {
+        results[i] = Some(res);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every unit reported"))
+        .collect()
 }
 
 /// One-shot `ComputeDelta` (paper Fig. 4): propagate the delta of `q` from
@@ -157,7 +374,7 @@ pub fn compute_delta(
 ) -> Result<()> {
     let mut worker = DeltaWorker::new();
     worker.enqueue(q.clone(), sign, tau_old.to_vec(), t_new);
-    worker.run(ctx)
+    worker.run_auto(ctx)
 }
 
 /// The number of propagation queries `ComputeDelta` issues for a query

@@ -85,9 +85,7 @@ impl MaterializedView {
             .into_iter()
             .find(|row| row[0].as_str() == Some(view.name.as_str()))
             .and_then(|row| row[1].as_int())
-            .ok_or_else(|| {
-                Error::NoSuchTable(format!("control row for view {}", view.name))
-            })?;
+            .ok_or_else(|| Error::NoSuchTable(format!("control row for view {}", view.name)))?;
         txn.commit()?;
         let mv = Self::attach(view, mv_table, vd_table);
         mv.set_mat_time(mat as Csn);
@@ -152,12 +150,10 @@ impl MaterializedView {
     pub fn set_hwm(&self, t: Csn) {
         let mut cur = self.vd_hwm.load(Ordering::Relaxed);
         while cur < t {
-            match self.vd_hwm.compare_exchange_weak(
-                cur,
-                t,
-                Ordering::Release,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .vd_hwm
+                .compare_exchange_weak(cur, t, Ordering::Release, Ordering::Relaxed)
+            {
                 Ok(_) => break,
                 Err(c) => cur = c,
             }

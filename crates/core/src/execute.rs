@@ -15,17 +15,17 @@
 //! a background capture driver.
 
 use crate::control::MaterializedView;
+use crate::policy::ExecTuning;
 use crate::query::{PropQuery, Slot};
 use crate::stats::PropStats;
 use rolljoin_common::{Csn, Error, Result};
-use rolljoin_relalg::{exec, fetch, SlotSource};
-use rolljoin_storage::{Engine, LockMode};
+use rolljoin_relalg::{exec, fetch, fetch_cached, BuildCache, SlotInput, SlotSource};
+use rolljoin_storage::{Engine, LockMode, ScanCache};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How maintenance waits for the capture high-water mark to reach a CSN.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub enum CaptureWait {
     /// Step the capture process inline until it catches up. Right choice
     /// when no background capture driver is running.
@@ -35,7 +35,6 @@ pub enum CaptureWait {
     /// the timeout (surfaced as [`Error::Internal`]).
     Block { poll: Duration, timeout: Duration },
 }
-
 
 /// Outcome of one executed propagation query.
 #[derive(Debug, Clone)]
@@ -60,6 +59,16 @@ pub struct MaintCtx {
     /// empty. On by default; experiments that count the *structural*
     /// number of queries (E5) turn it off.
     pub skip_empty: bool,
+    /// Executor tuning: worker count, probe-vs-scan threshold.
+    pub tuning: ExecTuning,
+    /// Step-scoped cache of materialized delta-range scans, shared by all
+    /// constituent queries (and workers) of one propagation step. Sound
+    /// because capture-complete delta ranges are immutable; entries are
+    /// dropped when the capture HWM advances past the step (memory bound,
+    /// not a correctness requirement).
+    pub scan_cache: Arc<ScanCache>,
+    /// Step-scoped cache of hash-join build sides over shared delta ranges.
+    pub build_cache: Arc<BuildCache>,
 }
 
 impl MaintCtx {
@@ -71,6 +80,9 @@ impl MaintCtx {
             stats: Arc::new(PropStats::new()),
             capture_wait: CaptureWait::Inline,
             skip_empty: true,
+            tuning: ExecTuning::default(),
+            scan_cache: Arc::new(ScanCache::new()),
+            build_cache: Arc::new(BuildCache::new()),
         }
     }
 
@@ -83,6 +95,18 @@ impl MaintCtx {
     /// Disable the empty-delta pruning optimization.
     pub fn without_empty_skip(mut self) -> Self {
         self.skip_empty = false;
+        self
+    }
+
+    /// Replace the executor tuning.
+    pub fn with_tuning(mut self, tuning: ExecTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Set the parallel-executor worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.tuning.workers = workers.max(1);
         self
     }
 
@@ -133,7 +157,7 @@ impl MaintCtx {
         &self,
         txn: &mut rolljoin_storage::Txn,
         q: &PropQuery,
-    ) -> Result<Vec<Vec<rolljoin_common::DeltaRow>>> {
+    ) -> Result<Vec<SlotInput>> {
         let view = &self.mv.view;
         let n = q.n();
         let offsets = view.spec.offsets();
@@ -143,12 +167,13 @@ impl MaintCtx {
                 .position(|w| col >= w[0] && col < w[1])
                 .expect("validated column")
         };
-        let mut slot_rows: Vec<Option<Vec<rolljoin_common::DeltaRow>>> =
-            (0..n).map(|_| None).collect();
+        let mut slot_rows: Vec<Option<SlotInput>> = (0..n).map(|_| None).collect();
         for (i, slot) in q.slots.iter().enumerate() {
             if let Slot::Delta(iv) = slot {
-                slot_rows[i] =
-                    Some(fetch(&self.engine, txn, &SlotSource::Delta(view.bases[i], *iv))?);
+                let source = SlotSource::Delta(view.bases[i], *iv);
+                let (input, hit) = fetch_cached(&self.engine, txn, &source, &self.scan_cache)?;
+                self.stats.record_scan_cache(hit, input.len() as u64);
+                slot_rows[i] = Some(input);
             }
         }
         for i in 0..n {
@@ -173,6 +198,7 @@ impl MaintCtx {
                 let drows = slot_rows[dslot].as_ref().expect("deltas fetched first");
                 let dlocal = dcol - offsets[dslot];
                 let keys: Vec<rolljoin_common::Value> = drows
+                    .rows()
                     .iter()
                     .map(|r| r.tuple.get(dlocal).clone())
                     .filter(|v| !v.is_null())
@@ -181,7 +207,9 @@ impl MaintCtx {
                     .collect();
                 // Probing beats scanning only while the key set is small
                 // relative to the table.
-                if keys.len() * 4 >= self.engine.table_distinct(base)?.max(1) {
+                if keys.len() * self.tuning.probe_scan_ratio
+                    >= self.engine.table_distinct(base)?.max(1)
+                {
                     continue;
                 }
                 source = SlotSource::BaseKeyed {
@@ -191,7 +219,7 @@ impl MaintCtx {
                 };
                 break;
             }
-            slot_rows[i] = Some(fetch(&self.engine, txn, &source)?);
+            slot_rows[i] = Some(SlotInput::Owned(fetch(&self.engine, txn, &source)?));
         }
         Ok(slot_rows
             .into_iter()
@@ -208,11 +236,26 @@ impl MaintCtx {
         let hi = q.max_delta_hi().ok_or_else(|| {
             Error::Invalid("propagation queries must contain a delta slot".into())
         })?;
+        let wall_start = Instant::now();
         self.ensure_captured(hi)?;
+        // Step-scope the caches: the propagation HWM only advances when a
+        // step completes, so entries live exactly for the step that
+        // materialized them and are dropped when the frontier moves past
+        // it. (Capture-complete delta ranges are immutable, so this is a
+        // memory bound, never a staleness concern — and keying off the
+        // propagation HWM rather than the capture HWM keeps concurrent
+        // updater commits from evicting a live step's working set.)
+        let hwm = self.mv.hwm();
+        self.scan_cache.advance_epoch(hwm);
+        self.build_cache.advance_epoch(hwm);
 
         let mut txn = self.engine.begin();
-        // Pre-lock base-table slots in TableId order (deadlock avoidance),
-        // then the view delta table.
+        // Pre-lock base-table slots in TableId order (deadlock avoidance).
+        // The view delta table's X lock is taken lazily by the first
+        // `vd_insert` — after the fetch and join — so writers contend on
+        // it only for the insert+commit tail of the query; the lock order
+        // is still globally consistent because the view delta table was
+        // created after every base (larger `TableId`).
         let mut lock_order: Vec<_> = q
             .slots
             .iter()
@@ -225,11 +268,11 @@ impl MaintCtx {
         for t in lock_order {
             txn.lock(t, LockMode::Shared)?;
         }
-        txn.lock(self.mv.vd_table, LockMode::Exclusive)?;
 
         let slot_rows = self.fetch_slots(&mut txn, q)?;
 
-        let (rows, stats) = exec::execute(slot_rows, &view.spec, sign)?;
+        let (rows, stats) =
+            exec::execute_shared(slot_rows, &view.spec, sign, Some(&self.build_cache))?;
         let mut written = 0u64;
         for row in rows {
             let ts = row.ts.ok_or_else(|| {
@@ -241,6 +284,8 @@ impl MaintCtx {
             }
         }
         let exec_csn = txn.commit()?;
+        self.stats
+            .record_query_wall(wall_start.elapsed().as_nanos() as u64);
 
         let (mut base_rows, mut delta_rows) = (0u64, 0u64);
         for (slot, n) in q.slots.iter().zip(&stats.rows_in) {
@@ -308,7 +353,9 @@ mod tests {
         let q = PropQuery::all_base(2).with_delta(0, TimeInterval::new(0, c2));
         let out = ctx.execute(&q, 1).unwrap();
         assert!(out.exec_csn > c2);
-        let rows = e.vd_range(ctx.mv.vd_table, TimeInterval::new(0, c2)).unwrap();
+        let rows = e
+            .vd_range(ctx.mv.vd_table, TimeInterval::new(0, c2))
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].tuple, tup![1, 100]);
         assert_eq!(rows[0].ts, Some(c2), "timestamp from the delta side");
@@ -349,7 +396,9 @@ mod tests {
         let out = ctx.execute(&q, 1).unwrap();
         assert_eq!(out.stats.rows_in, vec![1, 1], "probed, not scanned");
         assert_eq!(out.stats.rows_out, 1);
-        let rows = e.vd_range(ctx.mv.vd_table, TimeInterval::new(0, c)).unwrap();
+        let rows = e
+            .vd_range(ctx.mv.vd_table, TimeInterval::new(0, c))
+            .unwrap();
         assert_eq!(rows[0].tuple, tup![1, 77]);
     }
 
@@ -381,6 +430,66 @@ mod tests {
     }
 
     #[test]
+    fn probe_scan_ratio_tunes_pushdown_boundary() {
+        let (ctx, r, s) = two_table_ctx();
+        let e = &ctx.engine;
+        e.create_index(s, 0).unwrap();
+        // 50 distinct s-rows; the delta carries 10 distinct join keys, so
+        // the probe/scan decision flips exactly at ratio 5 (10×5 ≥ 50).
+        let mut w = e.begin();
+        for i in 0..50i64 {
+            w.insert(s, tup![i, i]).unwrap();
+        }
+        w.commit().unwrap();
+        let mut w = e.begin();
+        for i in 0..10i64 {
+            w.insert(r, tup![i, i]).unwrap();
+        }
+        let c = w.commit().unwrap();
+        let q = PropQuery::all_base(2).with_delta(0, TimeInterval::new(c - 1, c));
+
+        let probing = ctx
+            .clone()
+            .with_tuning(crate::policy::ExecTuning::sequential().with_probe_scan_ratio(4));
+        let out = probing.execute(&q, 1).unwrap();
+        assert_eq!(out.stats.rows_in[1], 10, "10×4 < 50 → probe");
+
+        let scanning = ctx
+            .clone()
+            .with_tuning(crate::policy::ExecTuning::sequential().with_probe_scan_ratio(5));
+        let out = scanning.execute(&q, 1).unwrap();
+        assert_eq!(out.stats.rows_in[1], 50, "10×5 ≥ 50 → scan");
+    }
+
+    #[test]
+    fn scan_cache_serves_repeated_delta_ranges() {
+        let (ctx, r, s) = two_table_ctx();
+        let e = &ctx.engine;
+        let mut w = e.begin();
+        w.insert(r, tup![1, 10]).unwrap();
+        w.insert(s, tup![10, 100]).unwrap();
+        let c = w.commit().unwrap();
+        let q = PropQuery::all_base(2).with_delta(0, TimeInterval::new(0, c));
+        ctx.execute(&q, 1).unwrap();
+        ctx.execute(&q, 1).unwrap();
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.scan_cache_misses, 1);
+        assert_eq!(snap.scan_cache_hits, 1);
+        assert_eq!(snap.scan_cache_rows, 1);
+        assert!(snap.query_wall_nanos > 0);
+        // Completing the step advances the propagation HWM past the cached
+        // ranges; the next step starts cold.
+        let mut w = e.begin();
+        w.insert(r, tup![2, 11]).unwrap();
+        let c2 = w.commit().unwrap();
+        ctx.mv.set_hwm(c);
+        let q2 = PropQuery::all_base(2).with_delta(0, TimeInterval::new(c, c2));
+        ctx.execute(&q2, 1).unwrap();
+        assert_eq!(ctx.stats.snapshot().scan_cache_misses, 2);
+        assert_eq!(ctx.scan_cache.len(), 1, "old step's entries evicted");
+    }
+
+    #[test]
     fn compensation_sign_negates_counts() {
         let (ctx, r, s) = two_table_ctx();
         let e = &ctx.engine;
@@ -393,7 +502,9 @@ mod tests {
             .with_delta(0, TimeInterval::new(0, c))
             .with_delta(1, TimeInterval::new(0, c));
         ctx.execute(&q, -1).unwrap();
-        let rows = e.vd_range(ctx.mv.vd_table, TimeInterval::new(0, c)).unwrap();
+        let rows = e
+            .vd_range(ctx.mv.vd_table, TimeInterval::new(0, c))
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].count, -1);
         assert_eq!(ctx.stats.snapshot().comp_queries, 1);

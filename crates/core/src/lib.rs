@@ -40,16 +40,21 @@ pub mod union;
 pub mod view;
 
 pub use apply::{full_refresh, materialize, roll_to, roll_to_wallclock, ApplyOutcome};
-pub use compute_delta::{compute_delta, expected_query_count};
+pub use compute_delta::{compute_delta, expected_query_count, DeltaWorker};
 pub use control::MaterializedView;
 pub use driver::{spawn_apply_driver, spawn_capture_driver, spawn_rolling_driver, DriverHandle};
 pub use execute::{CaptureWait, ExecOutcome, MaintCtx};
-pub use policy::{FullWidth, IntervalPolicy, LatencyBudget, PerRelationInterval, TargetRows, UniformInterval};
+pub use policy::{
+    ExecTuning, FullWidth, IntervalPolicy, LatencyBudget, PerRelationInterval, TargetRows,
+    UniformInterval,
+};
 pub use propagate::Propagator;
-pub use rolling::{CompensationMode, RollingPropagator, RollingStep};
 pub use query::{PropQuery, Slot};
+pub use rolling::{CompensationMode, RollingPropagator, RollingStep};
 pub use stats::{PropStats, PropStatsSnapshot};
 pub use summary::{AggFn, AggSpec, SummaryDeltaRow, SummaryView};
-pub use sync::{eq1_query_count, eq2_query_count, sync_propagate_eq1, sync_propagate_eq2, SyncOutcome};
+pub use sync::{
+    eq1_query_count, eq2_query_count, sync_propagate_eq1, sync_propagate_eq2, SyncOutcome,
+};
 pub use union::UnionView;
 pub use view::ViewDef;

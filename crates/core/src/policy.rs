@@ -11,6 +11,56 @@ use crate::execute::MaintCtx;
 use rolljoin_common::{Csn, Result};
 use std::time::Duration;
 
+/// Executor tuning knobs, separate from the interval policy: the interval
+/// decides *what* each step covers, these decide *how* the step's queries
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecTuning {
+    /// Worker threads for the parallel propagation executor. `1` keeps the
+    /// original sequential `DeltaWorker` path; `> 1` runs independent
+    /// constituent queries concurrently, each as its own strict-2PL
+    /// transaction.
+    pub workers: usize,
+    /// Index-probe-vs-scan pushdown threshold: probe an indexed base slot
+    /// only while `delta keys × ratio < distinct table keys`; otherwise
+    /// scan. Larger values scan sooner.
+    pub probe_scan_ratio: usize,
+}
+
+impl Default for ExecTuning {
+    fn default() -> Self {
+        ExecTuning {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4),
+            probe_scan_ratio: 4,
+        }
+    }
+}
+
+impl ExecTuning {
+    /// Sequential tuning (one worker, default pushdown threshold).
+    pub fn sequential() -> Self {
+        ExecTuning {
+            workers: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Set the worker count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the probe-vs-scan threshold (clamped to ≥ 1).
+    pub fn with_probe_scan_ratio(mut self, ratio: usize) -> Self {
+        self.probe_scan_ratio = ratio.max(1);
+        self
+    }
+}
+
 /// Chooses the width (in CSNs) of the next forward query for a relation.
 pub trait IntervalPolicy: Send {
     /// Pick a width for relation `rel`'s next forward query starting at
@@ -149,6 +199,20 @@ mod tests {
         .unwrap();
         let mv = MaterializedView::register(&e, view).unwrap();
         MaintCtx::new(e, mv)
+    }
+
+    #[test]
+    fn exec_tuning_defaults_and_builders() {
+        let t = ExecTuning::default();
+        assert!((1..=4).contains(&t.workers));
+        assert_eq!(t.probe_scan_ratio, 4);
+        assert_eq!(ExecTuning::sequential().workers, 1);
+        let t = ExecTuning::sequential()
+            .with_workers(0)
+            .with_probe_scan_ratio(0);
+        assert_eq!(t.workers, 1);
+        assert_eq!(t.probe_scan_ratio, 1);
+        assert_eq!(ExecTuning::sequential().with_workers(8).workers, 8);
     }
 
     #[test]

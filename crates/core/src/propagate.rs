@@ -55,7 +55,7 @@ impl Propagator {
     /// Finish any interval whose propagation previously failed partway.
     fn finish_pending(&mut self) -> Result<()> {
         if let Some(target) = self.pending_target {
-            self.worker.run(&self.ctx)?;
+            self.worker.run_auto(&self.ctx)?;
             self.t_cur = target;
             self.pending_target = None;
             self.ctx.mv.set_hwm(self.t_cur);
@@ -73,12 +73,8 @@ impl Propagator {
         self.finish_pending()?;
         let target = self.t_cur + delta;
         let n = self.ctx.mv.n();
-        self.worker.enqueue(
-            PropQuery::all_base(n),
-            1,
-            vec![self.t_cur; n],
-            target,
-        );
+        self.worker
+            .enqueue(PropQuery::all_base(n), 1, vec![self.t_cur; n], target);
         self.pending_target = Some(target);
         self.finish_pending()?;
         Ok(self.t_cur)

@@ -182,9 +182,17 @@ mod tests {
         assert_eq!(q.realizable(&[0, 0, b]), Some(b));
         // …R1 ⋈ R2_{a,b} ⋈ R3 with R1 at t_a, R3 at t_c is not realizable:
         let q = PropQuery::all_base(3).with_delta(1, iv(a, b));
-        assert_eq!(q.realizable(&[a, 0, c]), None, "bases seen at different times");
+        assert_eq!(
+            q.realizable(&[a, 0, c]),
+            None,
+            "bases seen at different times"
+        );
         // R1 ⋈ R2_{a,b} ⋈ R3 with both bases at t_a (< t_b) is not realizable:
-        assert_eq!(q.realizable(&[a, 0, a]), None, "bases precede the delta's end");
+        assert_eq!(
+            q.realizable(&[a, 0, a]),
+            None,
+            "bases precede the delta's end"
+        );
         // with both bases at t_b it is realizable, at t_b:
         assert_eq!(q.realizable(&[b, 0, b]), Some(b));
     }
@@ -203,9 +211,6 @@ mod tests {
     #[test]
     fn display_matches_paper_notation() {
         let q = PropQuery::all_base(2).with_delta(0, iv(2, 5));
-        assert_eq!(
-            q.display(&["R1".into(), "R2".into()]),
-            "R1(2,5] ⋈ R2"
-        );
+        assert_eq!(q.display(&["R1".into(), "R2".into()]), "R1(2,5] ⋈ R2");
     }
 }

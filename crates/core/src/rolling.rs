@@ -225,7 +225,7 @@ impl RollingPropagator {
             return Ok(None);
         };
         loop {
-            self.worker.run(&self.ctx)?;
+            self.worker.run_auto(&self.ctx)?;
             if let Some(seg) = p.seg.take() {
                 p.t_s += seg;
                 p.rem -= seg;
@@ -236,13 +236,20 @@ impl RollingPropagator {
             }
             // Next rectangular compensation segment (Fig. 10's
             // repeat/until loop).
-            let d2 = self.com_interval(p.rel, p.t_s).map_or(p.rem, |w| w.min(p.rem));
+            let d2 = self
+                .com_interval(p.rel, p.t_s)
+                .map_or(p.rem, |w| w.min(p.rem));
             let n = self.tfwd.len();
             let tau: Vec<Csn> = (0..n)
-                .map(|j| if j < p.rel { self.comp_time(j, p.t_s) } else { p.t_e })
+                .map(|j| {
+                    if j < p.rel {
+                        self.comp_time(j, p.t_s)
+                    } else {
+                        p.t_e
+                    }
+                })
                 .collect();
-            let cq = PropQuery::all_base(n)
-                .with_delta(p.rel, TimeInterval::new(p.t_s, p.t_s + d2));
+            let cq = PropQuery::all_base(n).with_delta(p.rel, TimeInterval::new(p.t_s, p.t_s + d2));
             self.worker.enqueue(cq, -1, tau, p.t_e);
             p.seg = Some(d2);
             self.pending = Some(p);
@@ -312,7 +319,10 @@ impl RollingPropagator {
         match self.mode {
             CompensationMode::Deferred => {
                 if i < n - 1 {
-                    self.querylist[i].push_back(FwdQuery { interval, exec: t_e });
+                    self.querylist[i].push_back(FwdQuery {
+                        interval,
+                        exec: t_e,
+                    });
                 }
                 // Compensation (for i > 0) runs as resumable pending work.
                 self.pending = Some(PendingStep {
@@ -369,7 +379,9 @@ impl RollingPropagator {
             return Ok(None);
         }
         let from = self.tfwd[i];
-        let delta = policy.choose(&self.ctx, i, from, available)?.clamp(1, available);
+        let delta = policy
+            .choose(&self.ctx, i, from, available)?
+            .clamp(1, available);
         let started = std::time::Instant::now();
         let step = self.step_relation(i, delta)?;
         policy.observe(i, delta, started.elapsed());
@@ -400,7 +412,9 @@ impl RollingPropagator {
                 continue;
             }
             let available = target - from;
-            let delta = policy.choose(&self.ctx, i, from, available)?.clamp(1, available);
+            let delta = policy
+                .choose(&self.ctx, i, from, available)?
+                .clamp(1, available);
             self.step_relation(i, delta)?;
         }
         Ok(self.hwm())

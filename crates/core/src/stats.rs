@@ -26,6 +26,20 @@ pub struct PropStats {
     /// Largest number of rows read by any single propagation transaction —
     /// the per-transaction "size" the interval knob controls (paper §3.3).
     pub max_txn_rows: AtomicU64,
+    /// Delta-range fetches served from the step-scoped scan cache.
+    pub scan_cache_hits: AtomicU64,
+    /// Delta-range fetches that materialized fresh rows.
+    pub scan_cache_misses: AtomicU64,
+    /// Rows served from the scan cache instead of re-materializing.
+    pub scan_cache_rows: AtomicU64,
+    /// Total nanoseconds workers spent executing queries (summed across
+    /// workers; divide by elapsed wall time for average busy workers).
+    pub worker_busy_nanos: AtomicU64,
+    /// Total per-query wall-clock nanoseconds (lock wait + fetch + join +
+    /// commit), summed over all queries.
+    pub query_wall_nanos: AtomicU64,
+    /// Deepest the worker's pending-unit queue ever got.
+    pub max_queue_depth: AtomicU64,
 }
 
 /// A point-in-time copy of [`PropStats`].
@@ -38,6 +52,12 @@ pub struct PropStatsSnapshot {
     pub vd_rows_written: u64,
     pub transactions: u64,
     pub max_txn_rows: u64,
+    pub scan_cache_hits: u64,
+    pub scan_cache_misses: u64,
+    pub scan_cache_rows: u64,
+    pub worker_busy_nanos: u64,
+    pub query_wall_nanos: u64,
+    pub max_queue_depth: u64,
 }
 
 impl PropStats {
@@ -66,6 +86,31 @@ impl PropStats {
             .fetch_max(base_rows + delta_rows, Ordering::Relaxed);
     }
 
+    /// Record one scan-cache lookup outcome.
+    pub(crate) fn record_scan_cache(&self, hit: bool, rows: u64) {
+        if hit {
+            self.scan_cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.scan_cache_rows.fetch_add(rows, Ordering::Relaxed);
+        } else {
+            self.scan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one query's wall-clock time.
+    pub(crate) fn record_query_wall(&self, nanos: u64) {
+        self.query_wall_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record one worker's busy time for a batch of executions.
+    pub(crate) fn record_worker_busy(&self, nanos: u64) {
+        self.worker_busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record the pending-queue depth observed before a round.
+    pub(crate) fn record_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Snapshot all counters.
     pub fn snapshot(&self) -> PropStatsSnapshot {
         PropStatsSnapshot {
@@ -76,6 +121,12 @@ impl PropStats {
             vd_rows_written: self.vd_rows_written.load(Ordering::Relaxed),
             transactions: self.transactions.load(Ordering::Relaxed),
             max_txn_rows: self.max_txn_rows.load(Ordering::Relaxed),
+            scan_cache_hits: self.scan_cache_hits.load(Ordering::Relaxed),
+            scan_cache_misses: self.scan_cache_misses.load(Ordering::Relaxed),
+            scan_cache_rows: self.scan_cache_rows.load(Ordering::Relaxed),
+            worker_busy_nanos: self.worker_busy_nanos.load(Ordering::Relaxed),
+            query_wall_nanos: self.query_wall_nanos.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -91,6 +142,16 @@ impl PropStatsSnapshot {
         self.base_rows_read + self.delta_rows_read
     }
 
+    /// Scan-cache hit fraction in `[0, 1]`; `0` when never consulted.
+    pub fn scan_cache_hit_rate(&self) -> f64 {
+        let total = self.scan_cache_hits + self.scan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.scan_cache_hits as f64 / total as f64
+        }
+    }
+
     /// Difference of two snapshots (self − earlier).
     pub fn since(&self, earlier: &PropStatsSnapshot) -> PropStatsSnapshot {
         PropStatsSnapshot {
@@ -101,6 +162,12 @@ impl PropStatsSnapshot {
             vd_rows_written: self.vd_rows_written - earlier.vd_rows_written,
             transactions: self.transactions - earlier.transactions,
             max_txn_rows: self.max_txn_rows, // high-water, not differenced
+            scan_cache_hits: self.scan_cache_hits - earlier.scan_cache_hits,
+            scan_cache_misses: self.scan_cache_misses - earlier.scan_cache_misses,
+            scan_cache_rows: self.scan_cache_rows - earlier.scan_cache_rows,
+            worker_busy_nanos: self.worker_busy_nanos - earlier.worker_busy_nanos,
+            query_wall_nanos: self.query_wall_nanos - earlier.query_wall_nanos,
+            max_queue_depth: self.max_queue_depth, // high-water, not differenced
         }
     }
 }

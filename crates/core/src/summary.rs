@@ -139,10 +139,10 @@ impl SummaryView {
     /// Compute the summary delta for `(self.mat_time, target]` from the
     /// underlying view delta (paper \[8\]'s summary-delta table).
     pub fn summary_delta(&self, target: Csn) -> Result<Vec<SummaryDeltaRow>> {
-        let net = self
-            .ctx
-            .engine
-            .vd_net_range(self.ctx.mv.vd_table, TimeInterval::new(self.mat_time, target))?;
+        let net = self.ctx.engine.vd_net_range(
+            self.ctx.mv.vd_table,
+            TimeInterval::new(self.mat_time, target),
+        )?;
         let mut groups: HashMap<Tuple, Vec<i64>> = HashMap::new();
         // Slot 0 tracks the row count; aggregates follow.
         let width = 1 + self.spec.aggregates.len();
@@ -276,12 +276,8 @@ impl SummaryView {
                         ))
                     })?;
                     let vals = members.iter().filter_map(|(t, _)| t.get(col).as_int());
-                    aggs[k] = if is_min {
-                        vals.min()
-                    } else {
-                        vals.max()
-                    }
-                    .ok_or_else(|| Error::Internal("empty group extremes".into()))?;
+                    aggs[k] = if is_min { vals.min() } else { vals.max() }
+                        .ok_or_else(|| Error::Internal("empty group extremes".into()))?;
                 }
                 let mut values: Vec<Value> = row.group.values().to_vec();
                 values.push(Value::Int(rows_cnt));

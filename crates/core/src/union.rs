@@ -36,7 +36,9 @@ impl UnionView {
     /// must produce the same output schema.
     pub fn register(engine: &Engine, name: &str, defs: Vec<ViewDef>) -> Result<UnionView> {
         if defs.is_empty() {
-            return Err(Error::Invalid("union view needs at least one branch".into()));
+            return Err(Error::Invalid(
+                "union view needs at least one branch".into(),
+            ));
         }
         for d in &defs {
             d.validate(engine)?;

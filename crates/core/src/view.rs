@@ -63,12 +63,7 @@ impl ViewDef {
                 self.spec.slot_schemas.len()
             )));
         }
-        for (i, (base, slot)) in self
-            .bases
-            .iter()
-            .zip(&self.spec.slot_schemas)
-            .enumerate()
-        {
+        for (i, (base, slot)) in self.bases.iter().zip(&self.spec.slot_schemas).enumerate() {
             let actual = engine.schema(*base)?;
             if actual != *slot {
                 return Err(Error::SchemaMismatch(format!(
@@ -133,12 +128,17 @@ mod tests {
         let (e, r, s) = setup();
         let sp = spec(&e, r, s);
         assert!(ViewDef::new(&e, "v", vec![r], sp).is_err());
-        assert!(ViewDef::new(&e, "v", vec![], JoinSpec {
-            slot_schemas: vec![],
-            equi: vec![],
-            filter: None,
-            projection: vec![],
-        })
+        assert!(ViewDef::new(
+            &e,
+            "v",
+            vec![],
+            JoinSpec {
+                slot_schemas: vec![],
+                equi: vec![],
+                filter: None,
+                projection: vec![],
+            }
+        )
         .is_err());
     }
 }

@@ -132,11 +132,17 @@ fn eq1_and_compute_delta_agree_on_net_effect() {
     .unwrap();
     let n1 = ctx1
         .engine
-        .vd_net_range(ctx1.mv.vd_table, rolljoin_common::TimeInterval::new(0, end1))
+        .vd_net_range(
+            ctx1.mv.vd_table,
+            rolljoin_common::TimeInterval::new(0, end1),
+        )
         .unwrap();
     let n2 = ctx2
         .engine
-        .vd_net_range(ctx2.mv.vd_table, rolljoin_common::TimeInterval::new(0, end2))
+        .vd_net_range(
+            ctx2.mv.vd_table,
+            rolljoin_common::TimeInterval::new(0, end2),
+        )
         .unwrap();
     assert_eq!(n1, n2);
 }
@@ -372,7 +378,10 @@ fn latency_budget_policy_drives_rolling_correctly() {
         assert!(std::time::Instant::now() < deadline, "stalled");
         rp.step(&mut policy).unwrap();
     }
-    assert!(policy.current_width() > 1, "fast steps should have grown the width");
+    assert!(
+        policy.current_width() > 1,
+        "fast steps should have grown the width"
+    );
     roll_to(&ctx, target).unwrap();
     ctx.engine.capture_catch_up().unwrap();
     assert_eq!(

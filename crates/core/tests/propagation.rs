@@ -5,8 +5,8 @@
 
 use rolljoin_common::{tup, ColumnType, Schema, TableId, TimeInterval};
 use rolljoin_core::{
-    compute_delta, materialize, oracle, roll_to, MaintCtx, MaterializedView, PropQuery,
-    Propagator, ViewDef,
+    compute_delta, materialize, oracle, roll_to, MaintCtx, MaterializedView, PropQuery, Propagator,
+    ViewDef,
 };
 use rolljoin_relalg::JoinSpec;
 use rolljoin_storage::Engine;

@@ -219,9 +219,7 @@ fn hwm_trails_uncompensated_queries() {
     assert_eq!(rp.hwm(), mat);
     // Draining sweeps the frontiers past the recorded execution times;
     // only then is the query fully compensated and the HWM released.
-    let hwm = rp
-        .drain_to(mat + 10, &mut UniformInterval(10))
-        .unwrap();
+    let hwm = rp.drain_to(mat + 10, &mut UniformInterval(10)).unwrap();
     assert!(hwm >= mat + 10);
     // Any still-recorded query must start at or beyond the drained target.
     assert!(rp.tcomp(0) >= mat + 10);

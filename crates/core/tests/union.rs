@@ -2,7 +2,7 @@
 //! table; point-in-time refresh works to the minimum branch HWM.
 
 use rolljoin_common::{tup, ColumnType, Schema, TableId};
-use rolljoin_core::{RollingPropagator, UnionView, UniformInterval, ViewDef};
+use rolljoin_core::{RollingPropagator, UniformInterval, UnionView, ViewDef};
 use rolljoin_relalg::JoinSpec;
 use rolljoin_storage::Engine;
 
@@ -31,8 +31,7 @@ fn setup() -> (Engine, UnionView, Vec<TableId>) {
         )
         .unwrap()
     };
-    let u = UnionView::register(&e, "u", vec![branch("b1", r1, s1), branch("b2", r2, s2)])
-        .unwrap();
+    let u = UnionView::register(&e, "u", vec![branch("b1", r1, s1), branch("b2", r2, s2)]).unwrap();
     (e, u, vec![r1, s1, r2, s2])
 }
 
@@ -65,8 +64,10 @@ fn union_rolls_and_matches_branch_oracles() {
     let mut p1 = RollingPropagator::new(u.branch_ctx(&e, 0), mat);
     let mut p2 = RollingPropagator::new(u.branch_ctx(&e, 1), mat);
     p1.drain_to(target, &mut UniformInterval(4)).unwrap();
-    assert!(u.hwm() < target || u.branches[1].hwm() >= target,
-        "union HWM is the min of branch HWMs");
+    assert!(
+        u.hwm() < target || u.branches[1].hwm() >= target,
+        "union HWM is the min of branch HWMs"
+    );
     p2.drain_to(target, &mut UniformInterval(9)).unwrap();
     assert!(u.hwm() >= target);
 
@@ -82,7 +83,10 @@ fn union_rolls_and_matches_branch_oracles() {
     }
     // Multiset semantics: counts add across branches where outputs collide.
     let state = u.mv_state(&e).unwrap();
-    assert!(state.values().any(|&c| c >= 2), "expected a duplicated output");
+    assert!(
+        state.values().any(|&c| c >= 2),
+        "expected a duplicated output"
+    );
 }
 
 #[test]

@@ -262,7 +262,10 @@ mod tests {
         let unknown = Expr::col(0).eq(Expr::lit(1));
         let tru = Expr::lit(1).eq(Expr::lit(1));
         let fls = Expr::lit(1).eq(Expr::lit(2));
-        assert_eq!(unknown.clone().and(fls.clone()).eval(&t), Value::Bool(false));
+        assert_eq!(
+            unknown.clone().and(fls.clone()).eval(&t),
+            Value::Bool(false)
+        );
         assert_eq!(unknown.clone().and(tru.clone()).eval(&t), Value::Null);
         assert_eq!(unknown.clone().or(tru).eval(&t), Value::Bool(true));
         assert_eq!(unknown.or(fls).eval(&t), Value::Null);
@@ -281,7 +284,9 @@ mod tests {
 
     #[test]
     fn shift_and_max_col() {
-        let e = Expr::col(1).eq(Expr::col(3)).and(Expr::col(0).lt(Expr::lit(9)));
+        let e = Expr::col(1)
+            .eq(Expr::col(3))
+            .and(Expr::col(0).lt(Expr::lit(9)));
         assert_eq!(e.max_col(), Some(3));
         let s = e.shift_cols(10);
         assert_eq!(s.max_col(), Some(13));

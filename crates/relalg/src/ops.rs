@@ -15,6 +15,7 @@
 use crate::expr::Expr;
 use rolljoin_common::{DeltaRow, TimeInterval, Tuple, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A stream of delta rows.
 pub type RowIter = Box<dyn Iterator<Item = DeltaRow>>;
@@ -24,33 +25,47 @@ pub fn scan(rows: Vec<DeltaRow>) -> RowIter {
     Box::new(rows.into_iter())
 }
 
+/// Scan a shared (cached) vector without taking ownership. Rows are cloned
+/// lazily — a [`DeltaRow`] clone is an `Arc` bump plus two words.
+pub fn scan_shared(rows: Arc<Vec<DeltaRow>>) -> RowIter {
+    Box::new((0..rows.len()).map(move |i| rows[i].clone()))
+}
+
 /// Selection `σ_pred`. The predicate sees only attribute columns, never
 /// count or timestamp.
 pub fn filter(input: RowIter, pred: Expr) -> RowIter {
     Box::new(input.filter(move |r| pred.eval_bool(&r.tuple)))
 }
 
-/// Projection `π_cols`, keeping count and timestamp.
+/// Projection `π_cols`, keeping count and timestamp. An identity
+/// projection (`cols = 0..arity`) passes rows through untouched, reusing
+/// the tuple allocation — count and timestamp are mutated in place either
+/// way, so no row is reconstructed.
 pub fn project(input: RowIter, cols: Vec<usize>) -> RowIter {
-    Box::new(input.map(move |r| DeltaRow {
-        ts: r.ts,
-        count: r.count,
-        tuple: r.tuple.project(&cols),
+    let identity = cols.iter().enumerate().all(|(i, &c)| i == c);
+    Box::new(input.map(move |mut r| {
+        if !(identity && r.tuple.arity() == cols.len()) {
+            r.tuple = r.tuple.project(&cols);
+        }
+        r
     }))
 }
 
-/// Negation `-R`: flip every count.
+/// Negation `-R`: flip every count in place (no tuple clone).
 pub fn negate(input: RowIter) -> RowIter {
-    Box::new(input.map(|r| r.negate()))
+    Box::new(input.map(|mut r| {
+        r.count = -r.count;
+        r
+    }))
 }
 
-/// Scale counts by a signed factor (used to carry the compensation sign
-/// through recursive `ComputeDelta` calls; factor `-1` ≡ [`negate`]).
+/// Scale counts by a signed factor in place (used to carry the
+/// compensation sign through recursive `ComputeDelta` calls; factor `-1`
+/// ≡ [`negate`]).
 pub fn scale(input: RowIter, factor: i64) -> RowIter {
-    Box::new(input.map(move |r| DeltaRow {
-        ts: r.ts,
-        count: r.count * factor,
-        tuple: r.tuple,
+    Box::new(input.map(move |mut r| {
+        r.count *= factor;
+        r
     }))
 }
 
@@ -104,6 +119,67 @@ pub fn hash_join(
     Box::new(probe.flat_map(move |p| {
         let matches: Vec<DeltaRow> = match key_of(&p.tuple, &probe_keys) {
             Some(key) => table
+                .get(&key)
+                .map(|rows| rows.iter().map(|b| p.join_combine(b)).collect())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
+        matches.into_iter()
+    }))
+}
+
+/// A prebuilt build side of a hash join: rows grouped by their key values
+/// on a fixed column list. Sharable across queries (and threads) via
+/// `Arc` — the step-scoped build cache hands these out so each delta range
+/// is hashed once per step instead of once per constituent query.
+pub struct JoinIndex {
+    /// Local (slot-relative) build key columns the index was built on.
+    keys: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<DeltaRow>>,
+    rows: usize,
+}
+
+impl JoinIndex {
+    /// Hash `build` on `keys` (NULL keys never join, matching
+    /// [`hash_join`]).
+    pub fn build(build: &[DeltaRow], keys: Vec<usize>) -> JoinIndex {
+        let mut map: HashMap<Vec<Value>, Vec<DeltaRow>> = HashMap::new();
+        for row in build {
+            if let Some(key) = key_of(&row.tuple, &keys) {
+                map.entry(key).or_default().push(row.clone());
+            }
+        }
+        JoinIndex {
+            keys,
+            map,
+            rows: build.len(),
+        }
+    }
+
+    /// The build key columns.
+    pub fn keys(&self) -> &[usize] {
+        &self.keys
+    }
+
+    /// Number of build rows the index was built from (indexed or not).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// Hash equi-join against a prebuilt, shared build index. Identical
+/// semantics to [`hash_join`] with the same keys; the build phase is
+/// skipped.
+pub fn hash_join_indexed(probe: RowIter, index: Arc<JoinIndex>, probe_keys: Vec<usize>) -> RowIter {
+    assert_eq!(
+        probe_keys.len(),
+        index.keys.len(),
+        "key arity mismatch against prebuilt index"
+    );
+    Box::new(probe.flat_map(move |p| {
+        let matches: Vec<DeltaRow> = match key_of(&p.tuple, &probe_keys) {
+            Some(key) => index
+                .map
                 .get(&key)
                 .map(|rows| rows.iter().map(|b| p.join_combine(b)).collect())
                 .unwrap_or_default(),
@@ -207,6 +283,42 @@ mod tests {
         assert_eq!(out[0].count, -2);
         let out: Vec<_> = scale(scan(rows), -3).collect();
         assert_eq!(out[0].count, -6);
+    }
+
+    #[test]
+    fn indexed_join_matches_hash_join() {
+        let r = base(vec![(1, tup![1, 10]), (2, tup![2, 20])]);
+        let s = vec![
+            DeltaRow::change(5, 1, tup![10, "x"]),
+            DeltaRow::change(3, -1, tup![20, "y"]),
+            DeltaRow::change(9, 1, tup![30, "z"]),
+        ];
+        let direct: Vec<_> = hash_join(scan(r.clone()), s.clone(), vec![1], vec![0]).collect();
+        let idx = Arc::new(JoinIndex::build(&s, vec![0]));
+        assert_eq!(idx.rows(), 3);
+        assert_eq!(idx.keys(), &[0]);
+        let via_index: Vec<_> = hash_join_indexed(scan(r), idx, vec![1]).collect();
+        assert_eq!(direct, via_index);
+    }
+
+    #[test]
+    fn scan_shared_yields_all_rows() {
+        let rows = Arc::new(base(vec![(1, tup![1]), (2, tup![2])]));
+        let out: Vec<_> = scan_shared(rows.clone()).collect();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out, *rows);
+    }
+
+    #[test]
+    fn identity_projection_reuses_tuples() {
+        let t = tup![1, 2];
+        let rows = vec![DeltaRow::change(3, 1, t.clone())];
+        let out: Vec<_> = project(scan(rows), vec![0, 1]).collect();
+        assert_eq!(out[0].tuple, t);
+        // Non-identity still projects.
+        let rows = vec![DeltaRow::change(3, 1, tup![1, 2])];
+        let out: Vec<_> = project(scan(rows), vec![1]).collect();
+        assert_eq!(out[0].tuple, tup![2]);
     }
 
     #[test]

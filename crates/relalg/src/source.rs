@@ -7,8 +7,9 @@
 //! the paper's unrealizable Equation 2 baseline only, a **time-travel**
 //! snapshot `R_a` reconstructed from the delta history.
 
+use crate::exec::SlotInput;
 use rolljoin_common::{Csn, DeltaRow, Result, TableId, TimeInterval, Value};
-use rolljoin_storage::{Engine, Txn};
+use rolljoin_storage::{Engine, ScanCache, Txn};
 use std::sync::Arc;
 
 /// Binding of one join slot to a row source.
@@ -86,6 +87,30 @@ pub fn fetch(engine: &Engine, txn: &mut Txn, source: &SlotSource) -> Result<Vec<
     }
 }
 
+/// Fetch one slot, routing delta-range reads through the step-scoped
+/// [`ScanCache`]. Delta ranges are immutable once capture-complete, so a
+/// cached copy is always current; the same range requested by several
+/// constituent queries of one propagation step is materialized once and
+/// shared. Non-delta sources are fetched fresh each time (base reads are
+/// transactional and must see the executing transaction's state).
+///
+/// Returns the slot input plus whether the rows came from the cache.
+pub fn fetch_cached(
+    engine: &Engine,
+    txn: &mut Txn,
+    source: &SlotSource,
+    cache: &ScanCache,
+) -> Result<(SlotInput, bool)> {
+    match source {
+        SlotSource::Delta(table, interval) => {
+            let (rows, hit) =
+                cache.get_or_fetch(*table, *interval, || engine.delta_range(*table, *interval))?;
+            Ok((SlotInput::Shared(rows, *table, *interval), hit))
+        }
+        other => Ok((SlotInput::Owned(fetch(engine, txn, other)?), false)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,9 +151,43 @@ mod tests {
         let c2 = w.commit().unwrap();
         e.capture_catch_up().unwrap();
         let mut txn = e.begin();
-        let rows = fetch(&e, &mut txn, &SlotSource::Delta(t, TimeInterval::new(c1, c2))).unwrap();
+        let rows = fetch(
+            &e,
+            &mut txn,
+            &SlotSource::Delta(t, TimeInterval::new(c1, c2)),
+        )
+        .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].count, -1);
+    }
+
+    #[test]
+    fn fetch_cached_shares_delta_ranges() {
+        let (e, t) = engine();
+        let mut w = e.begin();
+        w.insert(t, tup![1]).unwrap();
+        let c1 = w.commit().unwrap();
+        e.capture_catch_up().unwrap();
+        let cache = ScanCache::new();
+        let src = SlotSource::Delta(t, TimeInterval::new(0, c1));
+        let mut txn = e.begin();
+        let (first, hit) = fetch_cached(&e, &mut txn, &src, &cache).unwrap();
+        assert!(!hit);
+        let (second, hit) = fetch_cached(&e, &mut txn, &src, &cache).unwrap();
+        assert!(hit);
+        match (&first, &second) {
+            (SlotInput::Shared(a, ta, iva), SlotInput::Shared(b, tb, ivb)) => {
+                assert!(Arc::ptr_eq(a, b));
+                assert_eq!((ta, iva), (tb, ivb));
+                assert_eq!(a.len(), 1);
+            }
+            _ => panic!("delta fetch should be shared"),
+        }
+        // Base reads bypass the cache.
+        let (base, hit) = fetch_cached(&e, &mut txn, &SlotSource::Base(t), &cache).unwrap();
+        assert!(!hit);
+        assert!(matches!(base, SlotInput::Owned(_)));
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]

@@ -200,7 +200,10 @@ mod tests {
         });
         cap.catch_up().unwrap();
         assert_eq!(d1.len(), 1);
-        assert_eq!(d1.range(rolljoin_common::TimeInterval::new(0, 1))[0].tuple, tup![2]);
+        assert_eq!(
+            d1.range(rolljoin_common::TimeInterval::new(0, 1))[0].tuple,
+            tup![2]
+        );
     }
 
     #[test]

@@ -30,9 +30,7 @@ use crate::table::BaseTable;
 use crate::uow::UnitOfWork;
 use crate::wal::{Wal, WalRecord};
 use parking_lot::{Mutex, RwLock};
-use rolljoin_common::{
-    Csn, DeltaRow, Error, Result, Schema, TableId, TimeInterval, Tuple, TxnId,
-};
+use rolljoin_common::{Csn, DeltaRow, Error, Result, Schema, TableId, TimeInterval, Tuple, TxnId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -389,7 +387,11 @@ impl Engine {
     }
 
     /// Net effect of a view-delta range: `φ(σ_{a,b}(VD))`.
-    pub fn vd_net_range(&self, table: TableId, interval: TimeInterval) -> Result<HashMap<Tuple, i64>> {
+    pub fn vd_net_range(
+        &self,
+        table: TableId,
+        interval: TimeInterval,
+    ) -> Result<HashMap<Tuple, i64>> {
         let e = self.entry(table)?;
         match &e.store {
             TableStore::ViewDelta(vd) => Ok(vd.net_range(interval)),
@@ -551,10 +553,7 @@ impl Engine {
         // Uncommitted trailing transactions (crash victims) are simply
         // dropped — strict 2PL means none of their effects are visible.
         engine.inner.last_csn.store(last_csn, Ordering::Release);
-        engine
-            .inner
-            .next_txn
-            .store(max_txn + 1, Ordering::Release);
+        engine.inner.next_txn.store(max_txn + 1, Ordering::Release);
         engine
             .inner
             .next_table
@@ -572,8 +571,8 @@ impl Engine {
 
     /// Recover an engine from a WAL file written by [`Engine::save_wal`].
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Engine> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| Error::Internal(format!("wal read failed: {e}")))?;
+        let bytes =
+            std::fs::read(path).map_err(|e| Error::Internal(format!("wal read failed: {e}")))?;
         Self::recover_from_bytes(&bytes)
     }
 }
@@ -877,7 +876,10 @@ mod tests {
     fn engine_with_table() -> (Engine, TableId) {
         let e = Engine::new();
         let t = e
-            .create_table("r", Schema::new([("a", ColumnType::Int), ("b", ColumnType::Str)]))
+            .create_table(
+                "r",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Str)]),
+            )
             .unwrap();
         (e, t)
     }
@@ -925,7 +927,7 @@ mod tests {
         let mut reader = e.begin();
         assert!(reader.scan(t).unwrap().is_empty());
         drop(reader); // release the S lock
-        // Locks were released — a writer can proceed.
+                      // Locks were released — a writer can proceed.
         let mut w = e.begin();
         w.insert(t, tup![1, "a"]).unwrap();
         w.commit().unwrap();

@@ -89,9 +89,12 @@ impl HeapFile {
         }
         // Allocate a new page.
         let mut page = Page::new();
-        let slot = page
-            .insert(record)
-            .unwrap_or_else(|| panic!("record of {} bytes exceeds page size {PAGE_SIZE}", record.len()));
+        let slot = page.insert(record).unwrap_or_else(|| {
+            panic!(
+                "record of {} bytes exceeds page size {PAGE_SIZE}",
+                record.len()
+            )
+        });
         self.pages.push(page);
         self.fsm.push(0);
         let i = self.pages.len() - 1;

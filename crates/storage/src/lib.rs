@@ -31,7 +31,7 @@ pub mod uow;
 pub mod wal;
 
 pub use capture::Capture;
-pub use delta::{DeltaStore, ViewDeltaStore};
+pub use delta::{DeltaStore, ScanCache, ScanCacheStats, ViewDeltaStore};
 pub use engine::{Engine, Txn};
 pub use heap::RowId;
 pub use lock::{LockManager, LockMode, LockStats};

@@ -55,10 +55,7 @@ impl LockState {
                 self.granted.len() == 1
             }
             None => match mode {
-                LockMode::Shared => self
-                    .granted
-                    .values()
-                    .all(|m| *m == LockMode::Shared),
+                LockMode::Shared => self.granted.values().all(|m| *m == LockMode::Shared),
                 LockMode::Exclusive => self.granted.is_empty(),
             },
         }
@@ -284,7 +281,10 @@ mod tests {
         let m = mgr();
         m.lock(TxnId(1), T, LockMode::Exclusive).unwrap();
         // X covers S; repeat requests are free.
-        assert_eq!(m.lock(TxnId(1), T, LockMode::Shared).unwrap(), Duration::ZERO);
+        assert_eq!(
+            m.lock(TxnId(1), T, LockMode::Shared).unwrap(),
+            Duration::ZERO
+        );
         assert_eq!(
             m.lock(TxnId(1), T, LockMode::Exclusive).unwrap(),
             Duration::ZERO

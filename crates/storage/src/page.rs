@@ -175,10 +175,7 @@ impl Page {
 
     /// Defragment the cell area, preserving slot ids.
     pub fn compact(&mut self) {
-        let mut cells: Vec<(SlotId, Vec<u8>)> = self
-            .iter()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let mut cells: Vec<(SlotId, Vec<u8>)> = self.iter().map(|(s, r)| (s, r.to_vec())).collect();
         // Rewrite cells from the end of the page downward.
         let mut cursor = PAGE_SIZE as u16;
         for (slot, bytes) in cells.drain(..) {

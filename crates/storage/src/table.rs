@@ -134,10 +134,13 @@ impl BaseTable {
 
     /// Delete one copy of `tuple`. Errors if no copy is present.
     pub fn delete_one(&mut self, tuple: &Tuple) -> Result<()> {
-        let rids = self.index.get_mut(tuple).ok_or_else(|| Error::TupleNotFound {
-            table: self.id,
-            detail: tuple.to_string(),
-        })?;
+        let rids = self
+            .index
+            .get_mut(tuple)
+            .ok_or_else(|| Error::TupleNotFound {
+                table: self.id,
+                detail: tuple.to_string(),
+            })?;
         let rid = rids.pop().expect("index entries are non-empty");
         if rids.is_empty() {
             self.index.remove(tuple);

@@ -359,8 +359,7 @@ impl Wal {
             if off + 8 > bytes.len() {
                 break;
             }
-            let len =
-                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
             if off + 8 + len > bytes.len() {
                 break;
             }
@@ -387,8 +386,7 @@ impl Wal {
             if off + 8 > bytes.len() {
                 break;
             }
-            let len =
-                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
             if off + 8 + len > bytes.len() {
                 break;
             }

@@ -146,10 +146,7 @@ impl Star {
         for dim in &dims {
             let mut txn = engine.begin();
             for pk in 0..dim_size {
-                txn.insert(
-                    *dim,
-                    rolljoin_common::tup![pk as i64, (pk as i64) * 10],
-                )?;
+                txn.insert(*dim, rolljoin_common::tup![pk as i64, (pk as i64) * 10])?;
             }
             txn.commit()?;
         }
@@ -164,9 +161,7 @@ impl Star {
         let fact_arity = d + 1;
         // Global columns: fact = [0, fact_arity); dim_i starts at
         // fact_arity + 2(i-1).
-        let equi: Vec<(usize, usize)> = (0..d)
-            .map(|i| (i, fact_arity + 2 * i))
-            .collect();
+        let equi: Vec<(usize, usize)> = (0..d).map(|i| (i, fact_arity + 2 * i)).collect();
         let mut projection = vec![d]; // measure
         projection.extend((0..d).map(|i| fact_arity + 2 * i + 1)); // attrs
         let view = ViewDef::new(

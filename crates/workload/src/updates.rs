@@ -125,12 +125,7 @@ impl TableStream {
 
 /// Convenience factory: tuples `(key_fn(seq), payload_fn(rng))` for two-int
 /// tables — the shape of every experiment schema's tables.
-pub fn int_pair_stream(
-    table: TableId,
-    seed: u64,
-    mix: UpdateMix,
-    key_domain: i64,
-) -> TableStream {
+pub fn int_pair_stream(table: TableId, seed: u64, mix: UpdateMix, key_domain: i64) -> TableStream {
     TableStream::new(table, seed, mix, move |rng, seq| {
         rolljoin_common::tup![seq as i64, rng.gen_range(0..key_domain)]
     })

@@ -28,10 +28,26 @@ const OPS: u64 = 400;
 fn setup(name: &str) -> rolljoin::Result<TwoWay> {
     let w = TwoWay::setup(name)?;
     // Big base tables so maintenance reads take real time.
-    int_pair_stream(w.r, 11, UpdateMix { delete_frac: 0.0, update_frac: 0.0 }, 500)
-        .load(&w.engine, LOAD)?;
-    int_pair_stream(w.s, 12, UpdateMix { delete_frac: 0.0, update_frac: 0.0 }, 500)
-        .load(&w.engine, LOAD)?;
+    int_pair_stream(
+        w.r,
+        11,
+        UpdateMix {
+            delete_frac: 0.0,
+            update_frac: 0.0,
+        },
+        500,
+    )
+    .load(&w.engine, LOAD)?;
+    int_pair_stream(
+        w.s,
+        12,
+        UpdateMix {
+            delete_frac: 0.0,
+            update_frac: 0.0,
+        },
+        500,
+    )
+    .load(&w.engine, LOAD)?;
     Ok(w)
 }
 

@@ -49,7 +49,10 @@ fn main() -> rolljoin::Result<()> {
     drop((w, prop, ctx));
 
     // --- After the crash ---------------------------------------------------
-    println!("\n-- crash: only the {}-byte WAL survives --\n", wal_image.len());
+    println!(
+        "\n-- crash: only the {}-byte WAL survives --\n",
+        wal_image.len()
+    );
     let engine = Engine::recover_from_bytes(&wal_image)?;
     let r = engine.table_id("orders_r")?;
     let s = engine.table_id("orders_s")?;

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --example quickstart`
 
 use rolljoin::common::{tup, ColumnType, Schema};
-use rolljoin::core::{materialize, oracle, roll_to, MaintCtx, MaterializedView, Propagator, ViewDef};
+use rolljoin::core::{
+    materialize, oracle, roll_to, MaintCtx, MaterializedView, Propagator, ViewDef,
+};
 use rolljoin::relalg::JoinSpec;
 use rolljoin::storage::Engine;
 
@@ -44,7 +46,10 @@ fn main() -> rolljoin::Result<()> {
     txn.insert(orders, tup![100, 1])?;
     txn.commit()?;
     let t0 = materialize(&ctx)?;
-    println!("materialized at CSN {t0}: {:?}", oracle::mv_state(&engine, &ctx.mv)?);
+    println!(
+        "materialized at CSN {t0}: {:?}",
+        oracle::mv_state(&engine, &ctx.mv)?
+    );
 
     // 4. The database keeps evolving…
     let mut txn = engine.begin();

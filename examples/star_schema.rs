@@ -56,7 +56,10 @@ fn main() -> rolljoin::Result<()> {
         let s = ctx.stats.snapshot();
         println!(
             "queries: {} fwd + {} comp; rows read: {} base + {} delta; vd rows: {}",
-            s.forward_queries, s.comp_queries, s.base_rows_read, s.delta_rows_read,
+            s.forward_queries,
+            s.comp_queries,
+            s.base_rows_read,
+            s.delta_rows_read,
             s.vd_rows_written
         );
         roll_to(&ctx, ctx.mv.hwm().min(end))?;
@@ -80,7 +83,10 @@ fn main() -> rolljoin::Result<()> {
         let s = ctx.stats.snapshot();
         println!(
             "queries: {} fwd + {} comp; rows read: {} base + {} delta; vd rows: {}",
-            s.forward_queries, s.comp_queries, s.base_rows_read, s.delta_rows_read,
+            s.forward_queries,
+            s.comp_queries,
+            s.base_rows_read,
+            s.delta_rows_read,
             s.vd_rows_written
         );
         roll_to(&ctx, end)?;
@@ -102,7 +108,10 @@ fn main() -> rolljoin::Result<()> {
         let s = ctx.stats.snapshot();
         println!(
             "queries: {} fwd + {} comp; rows read: {} base + {} delta; vd rows: {}",
-            s.forward_queries, s.comp_queries, s.base_rows_read, s.delta_rows_read,
+            s.forward_queries,
+            s.comp_queries,
+            s.base_rows_read,
+            s.delta_rows_read,
             s.vd_rows_written
         );
     }

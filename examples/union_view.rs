@@ -39,7 +39,10 @@ fn main() -> rolljoin::Result<()> {
     let union = UnionView::register(
         &engine,
         "all_orders",
-        vec![branch("east", east_o, east_c)?, branch("west", west_o, west_c)?],
+        vec![
+            branch("east", east_o, east_c)?,
+            branch("west", west_o, west_c)?,
+        ],
     )?;
 
     // Load + materialize.

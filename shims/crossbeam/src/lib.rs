@@ -1,0 +1,248 @@
+//! Offline drop-in subset of the `crossbeam` API.
+//!
+//! Only [`channel`] is provided — a multi-producer multi-consumer FIFO
+//! channel with the crossbeam semantics the workspace relies on: cloneable
+//! senders *and* receivers, disconnection when the last sender (or last
+//! receiver) drops, and blocking `recv`. Backed by a `Mutex<VecDeque>` +
+//! `Condvar`; fine for the coarse work-distribution use here, where each
+//! queue item is an entire maintenance transaction.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        cond: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty (senders still connected).
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half; cloneable (multi-producer).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cond: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Create a "bounded" channel. The bound is advisory in this shim
+    /// (sends never block); capacity is used only as an initial allocation.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (s, r) = unbounded();
+        s.lock_state().queue.reserve(cap);
+        (s, r)
+    }
+
+    impl<T> Sender<T> {
+        fn lock_state(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Enqueue `t`, failing if every receiver has been dropped.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut st = self.lock_state();
+            if st.receivers == 0 {
+                return Err(SendError(t));
+            }
+            st.queue.push_back(t);
+            drop(st);
+            self.inner.cond.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.lock_state().senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.lock_state();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.inner.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn lock_state(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Dequeue, blocking while the channel is empty and senders remain.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.lock_state();
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.inner.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking dequeue.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.lock_state();
+            match st.queue.pop_front() {
+                Some(t) => Ok(t),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.lock_state().queue.len()
+        }
+
+        /// True iff no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator draining the channel until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.lock_state().receivers += 1;
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.lock_state().receivers -= 1;
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn mpmc_fan_out_fan_in() {
+            let (tx, rx) = unbounded::<u32>();
+            let (otx, orx) = unbounded::<u32>();
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let otx = otx.clone();
+                handles.push(thread::spawn(move || {
+                    for v in rx.iter() {
+                        otx.send(v * 2).unwrap();
+                    }
+                }));
+            }
+            drop((rx, otx));
+            for v in 0..100 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut got: Vec<u32> = orx.iter().collect();
+            got.sort_unstable();
+            let want: Vec<u32> = (0..100).map(|v| v * 2).collect();
+            assert_eq!(got, want);
+        }
+
+        #[test]
+        fn send_fails_after_receivers_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn recv_fails_after_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

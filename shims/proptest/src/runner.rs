@@ -1,0 +1,38 @@
+//! The case-loop driver behind the `proptest!` macro.
+
+use crate::{ProptestConfig, TestRng};
+use rand::SeedableRng;
+
+/// FNV-1a, for deriving a stable per-test seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `cases` instantiations of a property. `f` returns `Err(report)` on
+/// failure; the report already contains the failing inputs.
+///
+/// Seeds are a pure function of the test name and case number, so any
+/// failure reproduces exactly by re-running the same test binary.
+pub fn run<F>(cfg: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let base = fnv1a(name);
+    for case in 0..cfg.cases {
+        let seed = base
+            .wrapping_add(case as u64)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(report) = f(&mut rng) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{} (seed {seed:#x}):\n{report}",
+                cfg.cases
+            );
+        }
+    }
+}

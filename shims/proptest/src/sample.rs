@@ -1,0 +1,33 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::{AnyPrim, Arbitrary, Strategy};
+use crate::TestRng;
+use rand::Rng;
+
+/// An opaque index into a collection whose size is unknown at generation
+/// time; resolved against a concrete size with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Resolve against a collection of `size` elements. Panics on 0,
+    /// matching real proptest.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        self.0 % size
+    }
+}
+
+impl Strategy for AnyPrim<Index> {
+    type Value = Index;
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.gen::<usize>())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = AnyPrim<Index>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim::default()
+    }
+}

@@ -1,0 +1,341 @@
+//! The [`Strategy`] trait and the generator implementations the test
+//! suite uses: integer ranges, `Just`, mapped strategies, weighted
+//! unions, tuples, and a character-class regex string strategy.
+
+use crate::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for producing random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// yields a concrete value directly.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + rng.gen::<f64>() * (hi - lo)
+    }
+}
+
+/// Types with a canonical strategy, targeted by [`any`].
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (`any::<u64>()`, …).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-width strategy for a primitive, created by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+impl<T> Default for AnyPrim<T> {
+    fn default() -> Self {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Strategy for AnyPrim<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-balanced, mixing magnitudes; avoids NaN/inf which
+        // the real crate also skips by default.
+        let mag = match rng.gen_range(0u8..4) {
+            0 => 0.0,
+            1 => rng.gen::<f64>(),
+            2 => rng.gen::<f64>() * 1e6,
+            _ => rng.gen::<f64>() * 1e-6,
+        };
+        if rng.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrim<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+/// Type-erased strategy, for heterogeneous [`Union`] arms.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Box a strategy for use in [`union`] / `prop_oneof!`.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Weighted choice among strategies of one value type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+/// Build a [`Union`]; used by `prop_oneof!`.
+pub fn union<T: Debug>(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+    let total = arms.iter().map(|(w, _)| *w).sum();
+    assert!(total > 0, "prop_oneof! needs at least one positive weight");
+    Union { arms, total }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Regex string strategy for the `"[class]{m,n}"` subset.
+///
+/// Real proptest interprets `&str` strategies as full regexes; the test
+/// suite only uses a single character class with a `{m,n}` repetition, so
+/// that is what this parses. Unsupported patterns panic at strategy
+/// construction (i.e. on first generate), loudly, rather than silently
+/// generating wrong data.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parse `[class]{m,n}` into (alphabet, m, n); `None` if unsupported.
+fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = find_unescaped(rest, ']')?;
+    let class = &rest[..close];
+    let quant = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match quant.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = quant.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+
+    let mut chars = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        let c = if c == '\\' { it.next()? } else { c };
+        if it.peek() == Some(&'-') {
+            let mut ahead = it.clone();
+            ahead.next(); // consume '-'
+            match ahead.peek() {
+                // `a-z` range (a literal `-` escaped or trailing is handled below).
+                Some(&end) if end != ']' => {
+                    it = ahead;
+                    let end = if end == '\\' {
+                        it.next();
+                        it.next()?
+                    } else {
+                        it.next()?
+                    };
+                    if (c as u32) > (end as u32) {
+                        return None;
+                    }
+                    chars.extend((c as u32..=end as u32).filter_map(char::from_u32));
+                    continue;
+                }
+                // Trailing `-` is a literal.
+                None => {
+                    chars.push(c);
+                    chars.push('-');
+                    it = ahead;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chars.push(c);
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+fn find_unescaped(s: &str, target: char) -> Option<usize> {
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == target {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn regex_class_generates_only_class_chars() {
+        let pat = "[a-zA-Z0-9 _\\-]{0,24}";
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = pat.generate(&mut r);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = union(vec![(9, boxed(Just(true))), (1, boxed(Just(false)))]);
+        let mut r = rng();
+        let hits = (0..1000).filter(|_| u.generate(&mut r)).count();
+        assert!((800..1000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (0i64..10, 0i64..10).prop_map(|(a, b)| a + b);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((0..19).contains(&v));
+        }
+    }
+}

@@ -96,15 +96,13 @@ fn run_history(ops: &[Op], schedule: &[(usize, u64)]) {
 fn all_histories_of_length_four_under_three_schedules() {
     // 6^4 = 1296 histories × 3 schedules = 3888 exhaustive runs.
     let schedules: [&[(usize, u64)]; 3] = [
-        &[],                         // propagate only at the end
-        &[(0, 1), (1, 2), (0, 1)],   // eager tiny steps, leapfrogging
-        &[(1, 3), (0, 1)],           // wide R2 stride first (Fig. 9 shape)
+        &[],                       // propagate only at the end
+        &[(0, 1), (1, 2), (0, 1)], // eager tiny steps, leapfrogging
+        &[(1, 3), (0, 1)],         // wide R2 stride first (Fig. 9 shape)
     ];
     let n = ALPHABET.len();
     for idx in 0..n.pow(4) {
-        let ops: Vec<Op> = (0..4)
-            .map(|d| ALPHABET[(idx / n.pow(d)) % n])
-            .collect();
+        let ops: Vec<Op> = (0..4).map(|d| ALPHABET[(idx / n.pow(d)) % n]).collect();
         for schedule in schedules {
             run_history(&ops, schedule);
         }
@@ -116,9 +114,7 @@ fn all_histories_of_length_three_with_interleaved_steps() {
     // 6^3 = 216 histories; a step after *every* op, alternating relations.
     let n = ALPHABET.len();
     for idx in 0..n.pow(3) {
-        let ops: Vec<Op> = (0..3)
-            .map(|d| ALPHABET[(idx / n.pow(d)) % n])
-            .collect();
+        let ops: Vec<Op> = (0..3).map(|d| ALPHABET[(idx / n.pow(d)) % n]).collect();
         run_history(&ops, &[(0, 1), (1, 1), (0, 2)]);
         run_history(&ops, &[(1, 1), (0, 1), (1, 2)]);
     }

@@ -111,9 +111,7 @@ fn two_views_share_bases_with_independent_schedules() {
     );
     // The filter actually filtered.
     let v2_state = oracle::mv_state(&e, &ctx2.mv).unwrap();
-    assert!(v2_state
-        .keys()
-        .all(|t| t[0].as_int().unwrap() >= 200));
+    assert!(v2_state.keys().all(|t| t[0].as_int().unwrap() >= 200));
     assert!(!v2_state.is_empty());
 }
 

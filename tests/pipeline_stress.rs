@@ -5,8 +5,8 @@
 
 use rolljoin::common::tup;
 use rolljoin::core::{
-    materialize, oracle, roll_to, spawn_apply_driver, spawn_capture_driver,
-    spawn_rolling_driver, TargetRows,
+    materialize, oracle, roll_to, spawn_apply_driver, spawn_capture_driver, spawn_rolling_driver,
+    TargetRows,
 };
 use rolljoin::workload::{int_pair_stream, TwoWay, UpdateMix};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,8 +65,11 @@ fn concurrent_pipeline_stays_oracle_exact() {
         txn.lock(ctx.mv.mv_table, rolljoin::storage::LockMode::Shared)
             .unwrap();
         let t = ctx.mv.mat_time();
-        let got: rolljoin::relalg::NetEffect =
-            txn.scan_counts(ctx.mv.mv_table).unwrap().into_iter().collect();
+        let got: rolljoin::relalg::NetEffect = txn
+            .scan_counts(ctx.mv.mv_table)
+            .unwrap()
+            .into_iter()
+            .collect();
         drop(txn);
         // The oracle needs capture ≥ t; the background capture driver is
         // running, so wait for it rather than stepping inline.

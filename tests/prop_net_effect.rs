@@ -8,8 +8,7 @@ use rolljoin::relalg::{add, is_multiset, negate, net_effect, to_rows};
 
 fn arb_tuple() -> impl Strategy<Value = Tuple> {
     // Small domains so collisions (groups with several rows) are common.
-    (0i64..5, 0i64..3)
-        .prop_map(|(a, b)| Tuple::new([Value::Int(a), Value::Int(b)]))
+    (0i64..5, 0i64..3).prop_map(|(a, b)| Tuple::new([Value::Int(a), Value::Int(b)]))
 }
 
 fn arb_row() -> impl Strategy<Value = DeltaRow> {

@@ -100,7 +100,10 @@ fn maintenance_resumes_after_crash() {
     let view2 = rolljoin::core::ViewDef::new(
         &e2,
         "rec3",
-        vec![e2.table_id("rec3_r").unwrap(), e2.table_id("rec3_s").unwrap()],
+        vec![
+            e2.table_id("rec3_r").unwrap(),
+            e2.table_id("rec3_s").unwrap(),
+        ],
         (*ctx.mv.view).clone().spec,
     )
     .unwrap();
