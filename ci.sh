@@ -15,4 +15,7 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
 echo "CI OK"

@@ -8,6 +8,7 @@ pub mod contention;
 pub mod parallel_exp;
 pub mod refresh;
 pub mod rolling_exp;
+pub mod striped_exp;
 pub mod sync_async;
 pub mod timeline;
 
@@ -92,6 +93,11 @@ pub fn all() -> Vec<Experiment> {
             "e16",
             "parallel propagation — worker sweep + scan cache",
             parallel_exp::e16,
+        ),
+        (
+            "e17",
+            "striped locking — granularity × workers × think-time",
+            striped_exp::e17,
         ),
     ]
 }

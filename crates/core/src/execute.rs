@@ -98,15 +98,25 @@ impl MaintCtx {
         self
     }
 
-    /// Replace the executor tuning.
+    /// Replace the executor tuning. The lock granularity in the tuning is
+    /// applied to the shared engine — set it before concurrent activity.
     pub fn with_tuning(mut self, tuning: ExecTuning) -> Self {
         self.tuning = tuning;
+        self.engine.set_lock_granularity(tuning.lock_granularity);
         self
     }
 
     /// Set the parallel-executor worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.tuning.workers = workers.max(1);
+        self
+    }
+
+    /// Set the lock granularity (applied to the shared engine — set it
+    /// before concurrent activity starts).
+    pub fn with_lock_granularity(mut self, g: rolljoin_storage::LockGranularity) -> Self {
+        self.tuning.lock_granularity = g;
+        self.engine.set_lock_granularity(g);
         self
     }
 
@@ -147,12 +157,19 @@ impl MaintCtx {
     }
 
     /// Fetch all slot row sets of a propagation query within `txn`,
-    /// delta slots first so base slots directly equi-joined to a delta can
-    /// be probed by the delta's key values through a secondary index
-    /// (semi-join pushdown): the transaction then touches rows
-    /// proportional to the *delta*, not the table — what an index on the
-    /// join column buys the paper's DB2 prototype. Callers must already
-    /// hold the base-table locks.
+    /// delta slots first, then base slots in cascaded semi-join order:
+    /// a base slot equi-joined to an **already-fetched** neighbor (delta
+    /// or base) with an index on its join column is probed by the
+    /// neighbor's distinct key values instead of scanned. Because fetched
+    /// keyed slots become probe sources themselves, the keying cascades
+    /// down a chain — `ΔR1`'s keys probe `R2`, whose result rows' keys
+    /// probe `R3`, and so on — so the transaction touches (and, under
+    /// striped locking, locks) rows proportional to the *delta*, not the
+    /// tables. Only when no fetched neighbor offers a small enough key
+    /// set does a slot fall back to a full scan (table-granularity S
+    /// lock). Under table granularity callers must already hold the
+    /// base-table locks; under striped granularity the fetches acquire
+    /// IS + key-stripe S locks (or table S for scans) on demand.
     pub fn fetch_slots(
         &self,
         txn: &mut rolljoin_storage::Txn,
@@ -176,50 +193,67 @@ impl MaintCtx {
                 slot_rows[i] = Some(input);
             }
         }
-        for i in 0..n {
-            if slot_rows[i].is_some() {
-                continue;
-            }
-            let base = view.bases[i];
-            let mut source = SlotSource::Base(base);
-            for &(a, b) in &view.spec.equi {
-                let (sa, sb) = (slot_of(a), slot_of(b));
-                let (bcol, dslot, dcol) = if sa == i && q.slots[sb].is_delta() {
-                    (a, sb, b)
-                } else if sb == i && q.slots[sa].is_delta() {
-                    (b, sa, a)
-                } else {
-                    continue;
-                };
-                let local_col = bcol - offsets[i];
-                if !self.engine.has_index(base, local_col)? {
-                    continue;
+        let mut remaining: Vec<usize> = (0..n).filter(|&i| slot_rows[i].is_none()).collect();
+        while !remaining.is_empty() {
+            // Find a remaining slot probeable from a fetched neighbor.
+            let mut picked: Option<(usize, usize, Vec<rolljoin_common::Value>)> = None;
+            'slots: for &i in &remaining {
+                let base = view.bases[i];
+                for &(a, b) in &view.spec.equi {
+                    let (sa, sb) = (slot_of(a), slot_of(b));
+                    let (bcol, nslot, ncol) = if sa == i && slot_rows[sb].is_some() {
+                        (a, sb, b)
+                    } else if sb == i && slot_rows[sa].is_some() {
+                        (b, sa, a)
+                    } else {
+                        continue;
+                    };
+                    let local_col = bcol - offsets[i];
+                    if !self.engine.has_index(base, local_col)? {
+                        continue;
+                    }
+                    let nrows = slot_rows[nslot].as_ref().expect("neighbor fetched");
+                    let nlocal = ncol - offsets[nslot];
+                    let keys: Vec<rolljoin_common::Value> = nrows
+                        .rows()
+                        .iter()
+                        .map(|r| r.tuple.get(nlocal).clone())
+                        .filter(|v| !v.is_null())
+                        .collect::<std::collections::HashSet<_>>()
+                        .into_iter()
+                        .collect();
+                    // Probing beats scanning only while the key set is
+                    // small relative to the table.
+                    if keys.len() * self.tuning.probe_scan_ratio
+                        >= self.engine.table_distinct(base)?.max(1)
+                    {
+                        continue;
+                    }
+                    picked = Some((i, local_col, keys));
+                    break 'slots;
                 }
-                let drows = slot_rows[dslot].as_ref().expect("deltas fetched first");
-                let dlocal = dcol - offsets[dslot];
-                let keys: Vec<rolljoin_common::Value> = drows
-                    .rows()
-                    .iter()
-                    .map(|r| r.tuple.get(dlocal).clone())
-                    .filter(|v| !v.is_null())
-                    .collect::<std::collections::HashSet<_>>()
-                    .into_iter()
-                    .collect();
-                // Probing beats scanning only while the key set is small
-                // relative to the table.
-                if keys.len() * self.tuning.probe_scan_ratio
-                    >= self.engine.table_distinct(base)?.max(1)
-                {
-                    continue;
-                }
-                source = SlotSource::BaseKeyed {
-                    table: base,
-                    col: local_col,
-                    keys: std::sync::Arc::new(keys),
-                };
-                break;
             }
+            let (i, source) = match picked {
+                Some((i, col, keys)) => (
+                    i,
+                    SlotSource::BaseKeyed {
+                        table: view.bases[i],
+                        col,
+                        keys: std::sync::Arc::new(keys),
+                    },
+                ),
+                None => {
+                    // No probeable slot: full-scan the lowest-TableId one
+                    // (its rows may make neighbors probeable next round).
+                    let &i = remaining
+                        .iter()
+                        .min_by_key(|&&i| view.bases[i])
+                        .expect("remaining is non-empty");
+                    (i, SlotSource::Base(view.bases[i]))
+                }
+            };
             slot_rows[i] = Some(SlotInput::Owned(fetch(&self.engine, txn, &source)?));
+            remaining.retain(|&x| x != i);
         }
         Ok(slot_rows
             .into_iter()
@@ -250,23 +284,35 @@ impl MaintCtx {
         self.build_cache.advance_epoch(hwm);
 
         let mut txn = self.engine.begin();
-        // Pre-lock base-table slots in TableId order (deadlock avoidance).
-        // The view delta table's X lock is taken lazily by the first
-        // `vd_insert` — after the fetch and join — so writers contend on
-        // it only for the insert+commit tail of the query; the lock order
-        // is still globally consistent because the view delta table was
-        // created after every base (larger `TableId`).
-        let mut lock_order: Vec<_> = q
-            .slots
-            .iter()
-            .zip(&view.bases)
-            .filter(|(s, _)| !s.is_delta())
-            .map(|(_, t)| *t)
-            .collect();
-        lock_order.sort();
-        lock_order.dedup();
-        for t in lock_order {
-            txn.lock(t, LockMode::Shared)?;
+        // Table granularity: pre-lock base-table slots S in TableId order
+        // (deadlock avoidance among maintenance transactions). The view
+        // delta table's X lock is taken lazily by the first `vd_insert` —
+        // after the fetch and join — so writers contend on it only for
+        // the insert+commit tail of the query; the lock order is still
+        // globally consistent because the view delta table was created
+        // after every base (larger `TableId`).
+        //
+        // Striped granularity: no pre-lock. The fetches take IS + the S
+        // stripes of their key sets (or table S for full scans) as they
+        // run, so a keyed probe conflicts only with updaters of colliding
+        // keys. Acquisition order is no longer global, but maintenance
+        // transactions hold only shared/intent-shared base locks — which
+        // are mutually compatible — plus the vd-table X last, so they
+        // cannot deadlock each other; cycles through updaters are
+        // resolved by lock timeout and retry, same as at table grain.
+        if self.engine.lock_granularity() == rolljoin_storage::LockGranularity::Table {
+            let mut lock_order: Vec<_> = q
+                .slots
+                .iter()
+                .zip(&view.bases)
+                .filter(|(s, _)| !s.is_delta())
+                .map(|(_, t)| *t)
+                .collect();
+            lock_order.sort();
+            lock_order.dedup();
+            for t in lock_order {
+                txn.lock(t, LockMode::Shared)?;
+            }
         }
 
         let slot_rows = self.fetch_slots(&mut txn, q)?;
@@ -283,9 +329,11 @@ impl MaintCtx {
                 written += 1;
             }
         }
+        let lock_wait = txn.lock_wait();
         let exec_csn = txn.commit()?;
         self.stats
             .record_query_wall(wall_start.elapsed().as_nanos() as u64);
+        self.stats.record_lock_wait(lock_wait.as_nanos() as u64);
 
         let (mut base_rows, mut delta_rows) = (0u64, 0u64);
         for (slot, n) in q.slots.iter().zip(&stats.rows_in) {

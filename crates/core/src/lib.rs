@@ -51,7 +51,9 @@ pub use policy::{
 pub use propagate::Propagator;
 pub use query::{PropQuery, Slot};
 pub use rolling::{CompensationMode, RollingPropagator, RollingStep};
-pub use stats::{PropStats, PropStatsSnapshot};
+pub use stats::{
+    format_lock_breakdown, GranStatsSnapshot, LockStatsSnapshot, PropStats, PropStatsSnapshot,
+};
 pub use summary::{AggFn, AggSpec, SummaryDeltaRow, SummaryView};
 pub use sync::{
     eq1_query_count, eq2_query_count, sync_propagate_eq1, sync_propagate_eq2, SyncOutcome,

@@ -9,6 +9,7 @@
 
 use crate::execute::MaintCtx;
 use rolljoin_common::{Csn, Result};
+use rolljoin_storage::LockGranularity;
 use std::time::Duration;
 
 /// Executor tuning knobs, separate from the interval policy: the interval
@@ -25,6 +26,13 @@ pub struct ExecTuning {
     /// only while `delta keys × ratio < distinct table keys`; otherwise
     /// scan. Larger values scan sooner.
     pub probe_scan_ratio: usize,
+    /// Lock granularity for base-table reads and writes. `Table` is the
+    /// seed behavior (whole-table S/X); `Striped(n)` takes intention
+    /// locks at the table plus S/X on `hash(key) % n` stripes, so keyed
+    /// probes conflict only with updaters of colliding keys. Applied to
+    /// the engine by [`MaintCtx::with_tuning`] — set it before concurrent
+    /// activity starts.
+    pub lock_granularity: LockGranularity,
 }
 
 impl Default for ExecTuning {
@@ -35,6 +43,7 @@ impl Default for ExecTuning {
                 .unwrap_or(1)
                 .min(4),
             probe_scan_ratio: 4,
+            lock_granularity: LockGranularity::Table,
         }
     }
 }
@@ -57,6 +66,12 @@ impl ExecTuning {
     /// Set the probe-vs-scan threshold (clamped to ≥ 1).
     pub fn with_probe_scan_ratio(mut self, ratio: usize) -> Self {
         self.probe_scan_ratio = ratio.max(1);
+        self
+    }
+
+    /// Set the lock granularity.
+    pub fn with_lock_granularity(mut self, g: LockGranularity) -> Self {
+        self.lock_granularity = g;
         self
     }
 }
@@ -213,6 +228,13 @@ mod tests {
         assert_eq!(t.workers, 1);
         assert_eq!(t.probe_scan_ratio, 1);
         assert_eq!(ExecTuning::sequential().with_workers(8).workers, 8);
+        assert_eq!(t.lock_granularity, LockGranularity::Table);
+        assert_eq!(
+            ExecTuning::sequential()
+                .with_lock_granularity(LockGranularity::Striped(64))
+                .lock_granularity,
+            LockGranularity::Striped(64)
+        );
     }
 
     #[test]

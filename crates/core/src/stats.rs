@@ -6,6 +6,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub use rolljoin_storage::{GranStatsSnapshot, LockStatsSnapshot, WAIT_HIST_BUCKETS};
+
 /// Counters accumulated by a propagation process.
 #[derive(Default)]
 pub struct PropStats {
@@ -38,6 +40,12 @@ pub struct PropStats {
     /// Total per-query wall-clock nanoseconds (lock wait + fetch + join +
     /// commit), summed over all queries.
     pub query_wall_nanos: AtomicU64,
+    /// Nanoseconds propagation transactions spent blocked on locks,
+    /// summed over all committed queries — the portion of
+    /// `query_wall_nanos` that is contention, not work. Per-granularity
+    /// breakdowns (table vs stripe, with wait-time histograms) live on
+    /// the engine's lock manager: `engine.locks().stats().snapshot_full()`.
+    pub lock_wait_nanos: AtomicU64,
     /// Deepest the worker's pending-unit queue ever got.
     pub max_queue_depth: AtomicU64,
 }
@@ -57,6 +65,7 @@ pub struct PropStatsSnapshot {
     pub scan_cache_rows: u64,
     pub worker_busy_nanos: u64,
     pub query_wall_nanos: u64,
+    pub lock_wait_nanos: u64,
     pub max_queue_depth: u64,
 }
 
@@ -101,6 +110,11 @@ impl PropStats {
         self.query_wall_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// Record one query's time blocked on locks.
+    pub(crate) fn record_lock_wait(&self, nanos: u64) {
+        self.lock_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
     /// Record one worker's busy time for a batch of executions.
     pub(crate) fn record_worker_busy(&self, nanos: u64) {
         self.worker_busy_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -126,6 +140,7 @@ impl PropStats {
             scan_cache_rows: self.scan_cache_rows.load(Ordering::Relaxed),
             worker_busy_nanos: self.worker_busy_nanos.load(Ordering::Relaxed),
             query_wall_nanos: self.query_wall_nanos.load(Ordering::Relaxed),
+            lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
         }
     }
@@ -167,9 +182,25 @@ impl PropStatsSnapshot {
             scan_cache_rows: self.scan_cache_rows - earlier.scan_cache_rows,
             worker_busy_nanos: self.worker_busy_nanos - earlier.worker_busy_nanos,
             query_wall_nanos: self.query_wall_nanos - earlier.query_wall_nanos,
+            lock_wait_nanos: self.lock_wait_nanos - earlier.lock_wait_nanos,
             max_queue_depth: self.max_queue_depth, // high-water, not differenced
         }
     }
+}
+
+/// One-line lock-wait breakdown of a per-granularity lock snapshot, for
+/// propagation summaries and the E17 report: waits/timeouts/mean wait at
+/// each granularity.
+pub fn format_lock_breakdown(s: &LockStatsSnapshot) -> String {
+    format!(
+        "lock waits: table {} ({} timeouts, mean {:?}) | stripe {} ({} timeouts, mean {:?})",
+        s.table.waits,
+        s.table.timeouts,
+        s.table.mean_wait(),
+        s.stripe.waits,
+        s.stripe.timeouts,
+        s.stripe.mean_wait(),
+    )
 }
 
 #[cfg(test)]
@@ -203,5 +234,16 @@ mod tests {
         assert_eq!(d.comp_queries, 1);
         assert_eq!(d.forward_queries, 0);
         assert_eq!(d.base_rows_read, 2);
+    }
+
+    #[test]
+    fn lock_wait_accumulates_and_formats() {
+        let s = PropStats::new();
+        s.record_lock_wait(1_500);
+        s.record_lock_wait(500);
+        assert_eq!(s.snapshot().lock_wait_nanos, 2_000);
+        let line = format_lock_breakdown(&LockStatsSnapshot::default());
+        assert!(line.contains("table 0"));
+        assert!(line.contains("stripe 0"));
     }
 }

@@ -1,11 +1,15 @@
 //! Slot sources: where a propagation query's slots read their rows.
 //!
 //! A slot is bound to either the **base table** (read transactionally at
-//! the query's execution time, under an S lock held to commit so "seen at
-//! the commit time" is literally true), a **delta range** `R_{a,b}` (an
-//! immutable, capture-complete slice — no lock needed), or, for oracles and
-//! the paper's unrealizable Equation 2 baseline only, a **time-travel**
-//! snapshot `R_a` reconstructed from the delta history.
+//! the query's execution time, under a table-granularity S lock held to
+//! commit so "seen at the commit time" is literally true), a **delta
+//! range** `R_{a,b}` (an immutable, capture-complete slice — no lock
+//! needed), or, for oracles and the paper's unrealizable Equation 2
+//! baseline only, a **time-travel** snapshot `R_a` reconstructed from the
+//! delta history. A keyed probe ([`SlotSource::BaseKeyed`]) reads the base
+//! table restricted to an index key set; under striped lock granularity it
+//! takes IS at the table plus S on only the stripes its keys hash to, so
+//! it conflicts with updaters of colliding keys instead of the whole table.
 
 use crate::exec::SlotInput;
 use rolljoin_common::{Csn, DeltaRow, Result, TableId, TimeInterval, Value};
@@ -22,10 +26,12 @@ pub enum SlotSource {
     /// Snapshot `R^i_a` via time travel (oracle / Eq. 2 only).
     AsOf(TableId, Csn),
     /// The base table restricted by an index probe: only rows whose `col`
-    /// matches one of `keys` — a semi-join pushdown from a delta slot,
-    /// sound because every join result must match the delta side on the
-    /// equi column. This is what makes maintenance-transaction size track
-    /// the delta size instead of the table size.
+    /// matches one of `keys` — a semi-join pushdown from an
+    /// already-fetched neighbor slot (a delta, or a base slot itself
+    /// fetched keyed), sound because every join result must match the
+    /// neighbor on the equi column. This is what makes
+    /// maintenance-transaction size — and, under striped locking, the
+    /// locked footprint — track the delta size instead of the table size.
     BaseKeyed {
         table: TableId,
         col: usize,
@@ -46,8 +52,10 @@ impl std::fmt::Display for SlotSource {
     }
 }
 
-/// Fetch the rows of one slot. Base reads go through `txn` (acquiring the
-/// S lock); delta/as-of reads are lock-free against immutable history.
+/// Fetch the rows of one slot. Base reads go through `txn` (acquiring a
+/// table S lock for full scans, or — under striped granularity — IS plus
+/// key-stripe S locks for keyed probes); delta/as-of reads are lock-free
+/// against immutable history.
 pub fn fetch(engine: &Engine, txn: &mut Txn, source: &SlotSource) -> Result<Vec<DeltaRow>> {
     match source {
         SlotSource::Base(table) => {

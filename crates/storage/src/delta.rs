@@ -35,6 +35,22 @@ pub struct DeltaStore {
     base: RwLock<DeltaBase>,
 }
 
+/// Index of the first row with timestamp strictly greater than `t` —
+/// equivalently, the count of rows with timestamp ≤ `t`. Rows are in CSN
+/// order, so this is a binary search.
+fn lower_bound(rows: &[DeltaRow], t: Csn) -> usize {
+    rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= t)
+}
+
+/// `[lo, hi)` slice bounds of the records with timestamp in `(a, b]` —
+/// the paper's `σ_{a,b}` selection as index arithmetic.
+fn interval_bounds(rows: &[DeltaRow], interval: TimeInterval) -> (usize, usize) {
+    (
+        lower_bound(rows, interval.lo),
+        lower_bound(rows, interval.hi),
+    )
+}
+
 impl DeltaStore {
     pub fn new(table: TableId) -> Self {
         DeltaStore {
@@ -57,7 +73,7 @@ impl DeltaStore {
     pub fn prune_through(&self, through: Csn) -> usize {
         let mut rows = self.rows.write();
         let mut base = self.base.write();
-        let hi = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= through);
+        let hi = lower_bound(&rows, through);
         for r in rows.drain(..hi) {
             *base.counts.entry(r.tuple).or_insert(0) += r.count;
         }
@@ -85,10 +101,10 @@ impl DeltaStore {
     }
 
     /// `σ_{a,b}(Δ^R)`: all change records with timestamp in `(a, b]`.
+    /// Bounds are computed first so only the selected slice is cloned.
     pub fn range(&self, interval: TimeInterval) -> Vec<DeltaRow> {
         let rows = self.rows.read();
-        let lo = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= interval.lo);
-        let hi = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= interval.hi);
+        let (lo, hi) = interval_bounds(&rows, interval);
         rows[lo..hi].to_vec()
     }
 
@@ -96,8 +112,7 @@ impl DeltaStore {
     /// adaptive interval policies).
     pub fn count_in(&self, interval: TimeInterval) -> usize {
         let rows = self.rows.read();
-        let lo = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= interval.lo);
-        let hi = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= interval.hi);
+        let (lo, hi) = interval_bounds(&rows, interval);
         hi - lo
     }
 
@@ -115,7 +130,7 @@ impl DeltaStore {
             return None;
         }
         let rows = self.rows.read();
-        let lo = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= t);
+        let lo = lower_bound(&rows, t);
         rows.get(lo + k - 1).map(|r| r.ts.expect("timestamped"))
     }
 
@@ -143,7 +158,7 @@ impl DeltaStore {
                 pruned_through: base.through,
             });
         }
-        let hi = rows.partition_point(|r| r.ts.expect("delta rows are timestamped") <= t);
+        let hi = lower_bound(&rows, t);
         let mut out: HashMap<Tuple, i64> = base.counts.clone();
         for r in &rows[..hi] {
             let e = out.entry(r.tuple.clone()).or_insert(0);

@@ -25,7 +25,7 @@
 
 use crate::capture::Capture;
 use crate::delta::{DeltaStore, VdUndo, ViewDeltaStore};
-use crate::lock::{LockManager, LockMode};
+use crate::lock::{stripe_of, LockGranularity, LockKey, LockManager, LockMode};
 use crate::table::BaseTable;
 use crate::uow::UnitOfWork;
 use crate::wal::{Wal, WalRecord};
@@ -63,6 +63,13 @@ struct EngineInner {
     locks: Arc<LockManager>,
     uow: UnitOfWork,
     commit_mutex: Mutex<()>,
+    /// Lock granularity: 0 = table, n > 0 = striped with n stripes.
+    /// Encoded in an atomic so `Engine` clones share the knob; set it
+    /// before concurrent activity starts — changing the stripe count while
+    /// transactions hold stripe locks is unsound (`hash % n1` and
+    /// `hash % n2` disagree on which stripe a key maps to, so a reader and
+    /// a writer of the same key could miss each other's locks).
+    granularity: AtomicU32,
     last_csn: AtomicU64,
     capture: Mutex<Capture>,
     capture_hwm: Arc<AtomicU64>,
@@ -101,6 +108,7 @@ impl Engine {
                 locks: Arc::new(LockManager::new(timeout)),
                 uow: UnitOfWork::new(),
                 commit_mutex: Mutex::new(()),
+                granularity: AtomicU32::new(0),
                 last_csn: AtomicU64::new(0),
                 capture: Mutex::new(Capture::new(wal, capture_hwm.clone())),
                 capture_hwm,
@@ -263,6 +271,37 @@ impl Engine {
     /// The lock manager (exposed for stats and pre-locking).
     pub fn locks(&self) -> &LockManager {
         &self.inner.locks
+    }
+
+    /// The lock granularity base-table reads and writes run at.
+    pub fn lock_granularity(&self) -> LockGranularity {
+        match self.inner.granularity.load(Ordering::Acquire) {
+            0 => LockGranularity::Table,
+            n => LockGranularity::Striped(n),
+        }
+    }
+
+    /// Set the lock granularity. Must be called before concurrent
+    /// activity: transactions in flight keep the locks they already hold,
+    /// and changing the stripe *count* mid-flight would let key-granular
+    /// readers and writers hash the same key to different stripes.
+    pub fn set_lock_granularity(&self, g: LockGranularity) {
+        let enc = match g {
+            LockGranularity::Table => 0,
+            LockGranularity::Striped(n) => n.max(1),
+        };
+        self.inner.granularity.store(enc, Ordering::Release);
+    }
+
+    /// Columns of a base table with secondary indexes, ascending. Under
+    /// striped locking these are the columns whose values a writer must
+    /// stripe-lock (they are the columns keyed probes search by).
+    pub fn indexed_cols(&self, table: TableId) -> Result<Vec<usize>> {
+        let e = self.base_entry(table)?;
+        match &e.store {
+            TableStore::Base { table: t, .. } => Ok(t.lock().indexed_cols()),
+            _ => unreachable!("base_entry filters"),
+        }
     }
 
     /// The unit-of-work table.
@@ -600,7 +639,7 @@ pub struct Txn {
     id: TxnId,
     active: bool,
     undo: Vec<UndoOp>,
-    locked: Vec<TableId>,
+    locked: Vec<LockKey>,
     lock_wait: Duration,
 }
 
@@ -623,14 +662,56 @@ impl Txn {
         }
     }
 
-    /// Explicitly acquire a lock (callers lock in `TableId` order to avoid
-    /// deadlocks; propagation queries pre-lock all their tables this way).
+    /// Explicitly acquire a table-granularity lock (callers lock in
+    /// `TableId` order to avoid deadlocks; propagation queries pre-lock
+    /// all their tables this way under table granularity).
     pub fn lock(&mut self, table: TableId, mode: LockMode) -> Result<()> {
+        self.lock_key(LockKey::table(table), mode)
+    }
+
+    /// Acquire a lock on an arbitrary resource (table or stripe),
+    /// tracking it for release at commit/abort.
+    pub fn lock_key(&mut self, key: LockKey, mode: LockMode) -> Result<()> {
         self.check_active()?;
-        let waited = self.engine.inner.locks.lock(self.id, table, mode)?;
+        let waited = self.engine.inner.locks.lock_key(self.id, key, mode)?;
         self.lock_wait += waited;
-        if !self.locked.contains(&table) {
-            self.locked.push(table);
+        if !self.locked.contains(&key) {
+            self.locked.push(key);
+        }
+        Ok(())
+    }
+
+    /// Lock `table` for writing `tuple`. Table granularity: a plain X.
+    /// Striped: IX at the table plus X on the stripe of each indexed
+    /// column's value — the stripes any keyed probe for this tuple would
+    /// S-lock. Stripes are acquired in ascending order (after the table
+    /// intention lock), matching the global `(TableId, stripe)` order.
+    fn write_lock(&mut self, table: TableId, tuple: &Tuple) -> Result<()> {
+        let n = match self.engine.lock_granularity() {
+            LockGranularity::Table => return self.lock(table, LockMode::Exclusive),
+            LockGranularity::Striped(n) => n.max(1),
+        };
+        // A table-granularity X (e.g. taken before striping was enabled,
+        // or by a whole-table writer) already covers every stripe.
+        if self
+            .engine
+            .inner
+            .locks
+            .holds_key(self.id, LockKey::table(table), LockMode::Exclusive)
+        {
+            return Ok(());
+        }
+        self.lock(table, LockMode::IntentExclusive)?;
+        let mut stripes: Vec<u32> = self
+            .engine
+            .indexed_cols(table)?
+            .into_iter()
+            .map(|col| stripe_of(col, tuple.get(col), n))
+            .collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        for s in stripes {
+            self.lock_key(LockKey::stripe(table, s), LockMode::Exclusive)?;
         }
         Ok(())
     }
@@ -638,7 +719,7 @@ impl Txn {
     /// Insert one copy of `tuple` into `table`.
     pub fn insert(&mut self, table: TableId, tuple: Tuple) -> Result<()> {
         self.check_active()?;
-        self.lock(table, LockMode::Exclusive)?;
+        self.write_lock(table, &tuple)?;
         let entry = self.engine.base_entry(table)?;
         match &entry.store {
             TableStore::Base { table: t, .. } => t.lock().insert(tuple.clone())?,
@@ -656,7 +737,7 @@ impl Txn {
     /// Delete one copy of `tuple` from `table`.
     pub fn delete_one(&mut self, table: TableId, tuple: &Tuple) -> Result<()> {
         self.check_active()?;
-        self.lock(table, LockMode::Exclusive)?;
+        self.write_lock(table, tuple)?;
         let entry = self.engine.base_entry(table)?;
         match &entry.store {
             TableStore::Base { table: t, .. } => t.lock().delete_one(tuple)?,
@@ -714,7 +795,15 @@ impl Txn {
     }
 
     /// Index probe: all `(tuple, count)` pairs of `table` whose `col`
-    /// matches any of `keys`, under an S lock. Requires an index on `col`.
+    /// matches any of `keys`. Requires an index on `col`.
+    ///
+    /// Table granularity locks the whole table S (the seed behavior).
+    /// Striped granularity takes IS at the table plus S on only the
+    /// stripes the keys hash to — so the probe conflicts only with writers
+    /// of colliding keys, not with every updater of the table. Any write
+    /// that adds or removes a row matching one of `keys` must X-lock one
+    /// of those same stripes (via the indexed-column write path), which
+    /// also makes the probe phantom-safe at stripe precision.
     pub fn lookup_keys(
         &mut self,
         table: TableId,
@@ -722,7 +811,27 @@ impl Txn {
         keys: &[rolljoin_common::Value],
     ) -> Result<Vec<(Tuple, i64)>> {
         self.check_active()?;
-        self.lock(table, LockMode::Shared)?;
+        match self.engine.lock_granularity() {
+            LockGranularity::Table => self.lock(table, LockMode::Shared)?,
+            LockGranularity::Striped(n) => {
+                // A table-granularity S (pre-locked by sync propagation,
+                // or taken by an earlier full scan) covers every stripe.
+                if !self.engine.inner.locks.holds_key(
+                    self.id,
+                    LockKey::table(table),
+                    LockMode::Shared,
+                ) {
+                    let n = n.max(1);
+                    self.lock(table, LockMode::IntentShared)?;
+                    let mut stripes: Vec<u32> = keys.iter().map(|k| stripe_of(col, k, n)).collect();
+                    stripes.sort_unstable();
+                    stripes.dedup();
+                    for s in stripes {
+                        self.lock_key(LockKey::stripe(table, s), LockMode::Shared)?;
+                    }
+                }
+            }
+        }
         let entry = self.engine.base_entry(table)?;
         match &entry.store {
             TableStore::Base { table: t, .. } => {
@@ -854,8 +963,8 @@ impl Txn {
     }
 
     fn release_locks(&mut self) {
-        for table in self.locked.drain(..) {
-            self.engine.inner.locks.release(self.id, table);
+        for key in self.locked.drain(..) {
+            self.engine.inner.locks.release_key(self.id, key);
         }
     }
 }
@@ -1032,6 +1141,87 @@ mod tests {
         let state = Engine::replay_committed(&e.wal().snapshot_bytes()).unwrap();
         assert_eq!(state[&t][&tup![1, "a"]], 1);
         assert!(!state[&t].contains_key(&tup![9, "dead"]));
+    }
+
+    #[test]
+    fn striped_writers_on_distinct_keys_do_not_block() {
+        use crate::lock::stripe_of;
+        let e = Engine::with_lock_timeout(Duration::from_millis(300));
+        let t = e
+            .create_table(
+                "r",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        e.create_index(t, 0).unwrap();
+        e.set_lock_granularity(LockGranularity::Striped(64));
+        // Find two keys in different stripes.
+        let k1 = 0i64;
+        let s1 = stripe_of(0, &rolljoin_common::Value::Int(k1), 64);
+        let k2 = (1i64..)
+            .find(|k| stripe_of(0, &rolljoin_common::Value::Int(*k), 64) != s1)
+            .unwrap();
+        // Two uncommitted writers of distinct keys coexist (IX + disjoint
+        // X stripes) — under table granularity the second would block.
+        let mut t1 = e.begin();
+        t1.insert(t, tup![k1, 1]).unwrap();
+        let mut t2 = e.begin();
+        t2.insert(t, tup![k2, 2]).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap();
+        assert_eq!(e.table_len(t).unwrap(), 2);
+    }
+
+    #[test]
+    fn striped_probe_blocks_on_same_key_writer() {
+        let e = Engine::with_lock_timeout(Duration::from_millis(150));
+        let t = e
+            .create_table(
+                "r",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        e.create_index(t, 0).unwrap();
+        e.set_lock_granularity(LockGranularity::Striped(64));
+        let mut w = e.begin();
+        w.insert(t, tup![7, 1]).unwrap();
+        // Probe for the same key: stripe S vs stripe X → times out while
+        // the writer holds it.
+        let mut r = e.begin();
+        let err = r
+            .lookup_keys(t, 0, &[rolljoin_common::Value::Int(7)])
+            .unwrap_err();
+        assert!(matches!(err, Error::LockTimeout { .. }));
+        drop(r);
+        w.commit().unwrap();
+        let mut r = e.begin();
+        let hits = r
+            .lookup_keys(t, 0, &[rolljoin_common::Value::Int(7)])
+            .unwrap();
+        assert_eq!(hits, vec![(tup![7, 1], 1)]);
+    }
+
+    #[test]
+    fn striped_full_scan_conflicts_with_key_writer() {
+        let e = Engine::with_lock_timeout(Duration::from_millis(150));
+        let t = e
+            .create_table(
+                "r",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        e.create_index(t, 0).unwrap();
+        e.set_lock_granularity(LockGranularity::Striped(64));
+        let mut w = e.begin();
+        w.insert(t, tup![7, 1]).unwrap();
+        // A full scan takes table S, which is incompatible with the
+        // writer's IX — the hierarchy protects scans from key writers.
+        let mut r = e.begin();
+        assert!(matches!(r.scan(t), Err(Error::LockTimeout { .. })));
+        drop(r);
+        w.commit().unwrap();
+        let mut r = e.begin();
+        assert_eq!(r.scan(t).unwrap(), vec![tup![7, 1]]);
     }
 
     #[test]

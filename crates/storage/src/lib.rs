@@ -8,8 +8,9 @@
 //! * [`page`] / [`heap`] / [`table`] — slotted 8 KiB pages, heap files, and
 //!   multiset base tables with a tuple index.
 //! * [`wal`] — a CRC-guarded binary write-ahead log with recovery replay.
-//! * [`lock`] — table-granularity strict-2PL shared/exclusive locks with
-//!   FIFO queues and timeout-based deadlock resolution.
+//! * [`lock`] — hierarchical strict-2PL locks (IS/IX/S/SIX/X at table
+//!   granularity plus S/X key stripes) with FIFO queues and timeout-based
+//!   deadlock resolution.
 //! * [`uow`] — the unit-of-work table mapping transactions to commit
 //!   sequence numbers and wallclock times (paper §5).
 //! * [`capture`] — the asynchronous log-capture process (DPropR analogue)
@@ -34,7 +35,10 @@ pub use capture::Capture;
 pub use delta::{DeltaStore, ScanCache, ScanCacheStats, ViewDeltaStore};
 pub use engine::{Engine, Txn};
 pub use heap::RowId;
-pub use lock::{LockManager, LockMode, LockStats};
+pub use lock::{
+    stripe_of, GranStats, GranStatsSnapshot, LockGranularity, LockKey, LockManager, LockMode,
+    LockStats, LockStatsSnapshot, DEFAULT_STRIPES, WAIT_HIST_BUCKETS,
+};
 pub use table::BaseTable;
 pub use uow::{UnitOfWork, UowEntry};
 pub use wal::{Lsn, Wal, WalRecord};

@@ -62,6 +62,15 @@ impl BaseTable {
         self.secondary.contains_key(&col)
     }
 
+    /// Columns with secondary indexes, ascending. These are the columns
+    /// propagation probes by, so under striped locking a writer must lock
+    /// the stripe of each indexed column's value in the tuple it touches.
+    pub fn indexed_cols(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.secondary.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
     /// All `(tuple, count)` whose `col` equals `key` (index required).
     pub fn lookup(&self, col: usize, key: &Value) -> Vec<(Tuple, i64)> {
         self.secondary
@@ -279,6 +288,7 @@ mod tests {
         t.create_index(1).unwrap();
         assert!(t.has_index(1));
         assert!(!t.has_index(0));
+        assert_eq!(t.indexed_cols(), vec![1]);
         t.insert(tup![2, "x"]).unwrap();
         t.insert(tup![2, "x"]).unwrap();
         t.insert(tup![3, "y"]).unwrap();
