@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== benches compile =="
 cargo bench --workspace --no-run
 
+echo "== docs =="
+cargo doc --no-deps --workspace
+
 echo "CI OK"

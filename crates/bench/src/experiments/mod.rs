@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod ablation2;
 pub mod apply_exp;
+pub mod compaction_exp;
 pub mod contention;
 pub mod parallel_exp;
 pub mod refresh;
@@ -98,6 +99,11 @@ pub fn all() -> Vec<Experiment> {
             "e17",
             "striped locking — granularity × workers × think-time",
             striped_exp::e17,
+        ),
+        (
+            "e18",
+            "early φ-compaction — policy × Zipf skew × workers",
+            compaction_exp::e18,
         ),
     ]
 }

@@ -10,6 +10,7 @@
 //! paper's point-in-time refresh.
 
 use crate::execute::MaintCtx;
+use crate::policy::CompactionPolicy;
 use rolljoin_common::{Csn, Error, Result, TimeInterval};
 use rolljoin_relalg::{exec, fetch, SlotSource};
 use rolljoin_storage::LockMode;
@@ -114,6 +115,12 @@ pub fn roll_to(ctx: &MaintCtx, target: Csn) -> Result<ApplyOutcome> {
     ctx.mv.persist_mat_time(&mut txn, &ctx.engine, target)?;
     txn.commit()?;
     ctx.mv.set_mat_time(target);
+    // Everything at or below the new apply position has been installed;
+    // under a compaction policy, fold that history down to one record per
+    // tuple so the next roll's σ_{target, t'} scan walks net churn.
+    if ctx.tuning.compaction != CompactionPolicy::Off {
+        ctx.engine.vd_compact(ctx.mv.vd_table, target)?;
+    }
     Ok(ApplyOutcome {
         rolled_to: target,
         tuples_changed,

@@ -145,7 +145,7 @@ impl DeltaWorker {
     /// transaction.
     ///
     /// Each round: (1) expand every queued frame into its independent
-    /// single-query [`Unit`]s, (2) execute the units across the pool,
+    /// single-query `Unit`s, (2) execute the units across the pool,
     /// (3) enqueue the compensation frame of every success (timed by that
     /// unit's own commit CSN) and re-queue every failure (its transaction
     /// aborted, so re-execution cannot double-apply).

@@ -136,6 +136,27 @@ pub fn spawn_rolling_driver(
     })
 }
 
+/// Spawn the background φ-compactor: every `period`, rewrites each base
+/// delta store below the global compaction LWM
+/// ([`MaintCtx::compaction_lwm`], clamped to the capture HWM) and the view
+/// delta store below the apply position, honoring the
+/// [`crate::policy::CompactionPolicy::Background`] store-size threshold in
+/// the context's tuning. Compaction is an in-place rewrite of history no
+/// consumer can read anymore, so the driver needs no coordination with
+/// propagate or apply beyond the LWM itself — it can be suspended and
+/// resumed freely like the paper's other background processes.
+pub fn spawn_compaction_driver(ctx: MaintCtx, period: Duration) -> DriverHandle {
+    DriverHandle::spawn("compact", move |stop, suspend| {
+        while !stop.load(Ordering::Acquire) {
+            if !suspend.load(Ordering::Acquire) {
+                ctx.compact_stores()?;
+            }
+            std::thread::sleep(period);
+        }
+        Ok(())
+    })
+}
+
 /// Spawn the apply driver: every `period`, rolls the materialized view
 /// forward to the current view-delta high-water mark.
 pub fn spawn_apply_driver(ctx: MaintCtx, period: Duration) -> DriverHandle {

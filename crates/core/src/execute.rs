@@ -15,9 +15,9 @@
 //! a background capture driver.
 
 use crate::control::MaterializedView;
-use crate::policy::ExecTuning;
+use crate::policy::{CompactionPolicy, ExecTuning};
 use crate::query::{PropQuery, Slot};
-use crate::stats::PropStats;
+use crate::stats::{CompactionReport, PropStats};
 use rolljoin_common::{Csn, Error, Result};
 use rolljoin_relalg::{exec, fetch, fetch_cached, BuildCache, SlotInput, SlotSource};
 use rolljoin_storage::{Engine, LockMode, ScanCache};
@@ -120,6 +120,63 @@ impl MaintCtx {
         self
     }
 
+    /// Set the φ-compaction policy.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.tuning.compaction = policy;
+        self
+    }
+
+    /// The global compaction low-water mark: the largest CSN such that no
+    /// future delta-range read or roll starts below it. Propagation reads
+    /// start at per-relation frontiers, all ≥ the view-delta HWM; apply
+    /// reads start at the materialization time. Store history at or below
+    /// `min` of the two can be φ-compacted in place without changing what
+    /// any consumer can observe.
+    pub fn compaction_lwm(&self) -> Csn {
+        self.mv.hwm().min(self.mv.mat_time())
+    }
+
+    /// φ-compact every store of this view below its safe bound: each base
+    /// delta store below [`MaintCtx::compaction_lwm`] (clamped to the
+    /// capture HWM, since compaction may not rewrite rows capture is still
+    /// appending behind) and the view delta store below the apply
+    /// position. A [`CompactionPolicy::Background`] threshold skips stores
+    /// holding fewer records. Returns total records removed.
+    pub fn compact_stores(&self) -> Result<usize> {
+        let threshold = self.tuning.compaction.background_threshold().unwrap_or(0);
+        let lwm = self.compaction_lwm().min(self.engine.capture_hwm());
+        let mut removed = 0usize;
+        let mut bases: Vec<_> = self.mv.view.bases.clone();
+        bases.sort();
+        bases.dedup();
+        for base in bases {
+            if self.engine.delta_store(base)?.len() >= threshold.max(1) {
+                removed += self.engine.compact_delta_history(base, lwm)?;
+            }
+        }
+        if self.engine.vd_len(self.mv.vd_table)? >= threshold.max(1) {
+            removed += self
+                .engine
+                .vd_compact(self.mv.vd_table, self.mv.mat_time())?;
+        }
+        Ok(removed)
+    }
+
+    /// Lifetime store-level compaction counters for this view's stores.
+    pub fn compaction_report(&self) -> Result<CompactionReport> {
+        let mut report = CompactionReport::default();
+        let mut bases: Vec<_> = self.mv.view.bases.clone();
+        bases.sort();
+        bases.dedup();
+        for base in bases {
+            report
+                .base
+                .merge(&self.engine.delta_compaction_stats(base)?);
+        }
+        report.vd = self.engine.vd_compaction_stats(self.mv.vd_table)?;
+        Ok(report)
+    }
+
     /// Wait until the capture HWM reaches `csn`.
     pub fn ensure_captured(&self, csn: Csn) -> Result<()> {
         if csn > self.engine.current_csn() {
@@ -184,12 +241,18 @@ impl MaintCtx {
                 .position(|w| col >= w[0] && col < w[1])
                 .expect("validated column")
         };
+        let compact = self.tuning.compaction.compact_on_scan();
         let mut slot_rows: Vec<Option<SlotInput>> = (0..n).map(|_| None).collect();
         for (i, slot) in q.slots.iter().enumerate() {
             if let Slot::Delta(iv) = slot {
                 let source = SlotSource::Delta(view.bases[i], *iv);
-                let (input, hit) = fetch_cached(&self.engine, txn, &source, &self.scan_cache)?;
+                let (input, hit, raw) =
+                    fetch_cached(&self.engine, txn, &source, &self.scan_cache, compact)?;
                 self.stats.record_scan_cache(hit, input.len() as u64);
+                if compact && !hit {
+                    self.stats
+                        .record_scan_compaction(raw as u64, input.len() as u64);
+                }
                 slot_rows[i] = Some(input);
             }
         }

@@ -42,17 +42,21 @@ pub mod view;
 pub use apply::{full_refresh, materialize, roll_to, roll_to_wallclock, ApplyOutcome};
 pub use compute_delta::{compute_delta, expected_query_count, DeltaWorker};
 pub use control::MaterializedView;
-pub use driver::{spawn_apply_driver, spawn_capture_driver, spawn_rolling_driver, DriverHandle};
+pub use driver::{
+    spawn_apply_driver, spawn_capture_driver, spawn_compaction_driver, spawn_rolling_driver,
+    DriverHandle,
+};
 pub use execute::{CaptureWait, ExecOutcome, MaintCtx};
 pub use policy::{
-    ExecTuning, FullWidth, IntervalPolicy, LatencyBudget, PerRelationInterval, TargetRows,
-    UniformInterval,
+    CompactionPolicy, ExecTuning, FullWidth, IntervalPolicy, LatencyBudget, PerRelationInterval,
+    TargetRows, UniformInterval,
 };
 pub use propagate::Propagator;
 pub use query::{PropQuery, Slot};
 pub use rolling::{CompensationMode, RollingPropagator, RollingStep};
 pub use stats::{
-    format_lock_breakdown, GranStatsSnapshot, LockStatsSnapshot, PropStats, PropStatsSnapshot,
+    format_lock_breakdown, CompactionReport, CompactionStats, GranStatsSnapshot, LockStatsSnapshot,
+    PropStats, PropStatsSnapshot,
 };
 pub use summary::{AggFn, AggSpec, SummaryDeltaRow, SummaryView};
 pub use sync::{

@@ -12,6 +12,42 @@ use rolljoin_common::{Csn, Result};
 use rolljoin_storage::LockGranularity;
 use std::time::Duration;
 
+/// When delta streams are φ-compacted (net-effect reduced) ahead of
+/// consumption. φ is linear over SPJ propagation (paper Lemma 4.2), so
+/// collapsing same-tuple churn *before* it reaches a join, a cache, or
+/// the store itself changes no net effect — only how many rows carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionPolicy {
+    /// Never compact (seed behavior).
+    #[default]
+    Off,
+    /// φ-reduce freshly materialized delta ranges before they enter the
+    /// scan cache, so joins, build sides, and cache memory all see net
+    /// churn instead of raw churn.
+    OnScan,
+    /// Everything [`CompactionPolicy::OnScan`] does, plus a background
+    /// compactor ([`crate::driver::spawn_compaction_driver`]) that
+    /// rewrites store history below the global LWM in place whenever a
+    /// store holds at least this many records.
+    Background(usize),
+}
+
+impl CompactionPolicy {
+    /// Should freshly materialized delta ranges be φ-reduced at scan time?
+    /// `Background` subsumes `OnScan` — it is the strictly stronger policy.
+    pub fn compact_on_scan(&self) -> bool {
+        !matches!(self, CompactionPolicy::Off)
+    }
+
+    /// The store-size threshold for the background compactor, if any.
+    pub fn background_threshold(&self) -> Option<usize> {
+        match self {
+            CompactionPolicy::Background(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
 /// Executor tuning knobs, separate from the interval policy: the interval
 /// decides *what* each step covers, these decide *how* the step's queries
 /// run.
@@ -33,6 +69,10 @@ pub struct ExecTuning {
     /// the engine by [`MaintCtx::with_tuning`] — set it before concurrent
     /// activity starts.
     pub lock_granularity: LockGranularity,
+    /// Early φ-compaction of delta streams (scan-level and/or store-level).
+    /// `Off` is the seed behavior: every raw change record flows through
+    /// every join.
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for ExecTuning {
@@ -44,6 +84,7 @@ impl Default for ExecTuning {
                 .min(4),
             probe_scan_ratio: 4,
             lock_granularity: LockGranularity::Table,
+            compaction: CompactionPolicy::Off,
         }
     }
 }
@@ -72,6 +113,12 @@ impl ExecTuning {
     /// Set the lock granularity.
     pub fn with_lock_granularity(mut self, g: LockGranularity) -> Self {
         self.lock_granularity = g;
+        self
+    }
+
+    /// Set the φ-compaction policy.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
         self
     }
 }
@@ -234,6 +281,18 @@ mod tests {
                 .with_lock_granularity(LockGranularity::Striped(64))
                 .lock_granularity,
             LockGranularity::Striped(64)
+        );
+        assert_eq!(t.compaction, CompactionPolicy::Off);
+        assert!(!CompactionPolicy::Off.compact_on_scan());
+        assert!(CompactionPolicy::OnScan.compact_on_scan());
+        assert!(CompactionPolicy::Background(100).compact_on_scan());
+        assert_eq!(CompactionPolicy::OnScan.background_threshold(), None);
+        assert_eq!(
+            ExecTuning::sequential()
+                .with_compaction(CompactionPolicy::Background(512))
+                .compaction
+                .background_threshold(),
+            Some(512)
         );
     }
 

@@ -6,7 +6,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-pub use rolljoin_storage::{GranStatsSnapshot, LockStatsSnapshot, WAIT_HIST_BUCKETS};
+pub use rolljoin_storage::{
+    CompactionStats, GranStatsSnapshot, LockStatsSnapshot, WAIT_HIST_BUCKETS,
+};
 
 /// Counters accumulated by a propagation process.
 #[derive(Default)]
@@ -34,6 +36,12 @@ pub struct PropStats {
     pub scan_cache_misses: AtomicU64,
     /// Rows served from the scan cache instead of re-materializing.
     pub scan_cache_rows: AtomicU64,
+    /// Raw delta rows that entered scan-level φ-compaction (cache misses
+    /// with [`crate::policy::CompactionPolicy::compact_on_scan`] set).
+    pub compact_rows_in: AtomicU64,
+    /// Rows eliminated by scan-level φ-compaction before any join, build
+    /// side, or cache entry saw them.
+    pub compact_rows_saved: AtomicU64,
     /// Total nanoseconds workers spent executing queries (summed across
     /// workers; divide by elapsed wall time for average busy workers).
     pub worker_busy_nanos: AtomicU64,
@@ -63,6 +71,8 @@ pub struct PropStatsSnapshot {
     pub scan_cache_hits: u64,
     pub scan_cache_misses: u64,
     pub scan_cache_rows: u64,
+    pub compact_rows_in: u64,
+    pub compact_rows_saved: u64,
     pub worker_busy_nanos: u64,
     pub query_wall_nanos: u64,
     pub lock_wait_nanos: u64,
@@ -105,6 +115,14 @@ impl PropStats {
         }
     }
 
+    /// Record one scan-level φ-compaction: `raw` rows materialized,
+    /// `served` survived into the cache entry.
+    pub(crate) fn record_scan_compaction(&self, raw: u64, served: u64) {
+        self.compact_rows_in.fetch_add(raw, Ordering::Relaxed);
+        self.compact_rows_saved
+            .fetch_add(raw.saturating_sub(served), Ordering::Relaxed);
+    }
+
     /// Record one query's wall-clock time.
     pub(crate) fn record_query_wall(&self, nanos: u64) {
         self.query_wall_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -138,6 +156,8 @@ impl PropStats {
             scan_cache_hits: self.scan_cache_hits.load(Ordering::Relaxed),
             scan_cache_misses: self.scan_cache_misses.load(Ordering::Relaxed),
             scan_cache_rows: self.scan_cache_rows.load(Ordering::Relaxed),
+            compact_rows_in: self.compact_rows_in.load(Ordering::Relaxed),
+            compact_rows_saved: self.compact_rows_saved.load(Ordering::Relaxed),
             worker_busy_nanos: self.worker_busy_nanos.load(Ordering::Relaxed),
             query_wall_nanos: self.query_wall_nanos.load(Ordering::Relaxed),
             lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
@@ -155,6 +175,16 @@ impl PropStatsSnapshot {
     /// Total rows read from any slot.
     pub fn total_rows_read(&self) -> u64 {
         self.base_rows_read + self.delta_rows_read
+    }
+
+    /// Fraction of raw delta rows eliminated by scan-level φ-compaction,
+    /// in `[0, 1]`; `0` when compaction never ran.
+    pub fn scan_compaction_save_rate(&self) -> f64 {
+        if self.compact_rows_in == 0 {
+            0.0
+        } else {
+            self.compact_rows_saved as f64 / self.compact_rows_in as f64
+        }
     }
 
     /// Scan-cache hit fraction in `[0, 1]`; `0` when never consulted.
@@ -180,11 +210,36 @@ impl PropStatsSnapshot {
             scan_cache_hits: self.scan_cache_hits - earlier.scan_cache_hits,
             scan_cache_misses: self.scan_cache_misses - earlier.scan_cache_misses,
             scan_cache_rows: self.scan_cache_rows - earlier.scan_cache_rows,
+            compact_rows_in: self.compact_rows_in - earlier.compact_rows_in,
+            compact_rows_saved: self.compact_rows_saved - earlier.compact_rows_saved,
             worker_busy_nanos: self.worker_busy_nanos - earlier.worker_busy_nanos,
             query_wall_nanos: self.query_wall_nanos - earlier.query_wall_nanos,
             lock_wait_nanos: self.lock_wait_nanos - earlier.lock_wait_nanos,
             max_queue_depth: self.max_queue_depth, // high-water, not differenced
         }
+    }
+}
+
+/// Store-level φ-compaction totals for one maintained view: the base
+/// delta stores (merged) plus the view delta store. Produced by
+/// [`crate::execute::MaintCtx::compaction_report`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionReport {
+    /// Merged counters of every base table's delta store.
+    pub base: CompactionStats,
+    /// Counters of the view delta store.
+    pub vd: CompactionStats,
+}
+
+impl CompactionReport {
+    /// Total records physically removed across all stores.
+    pub fn rows_removed(&self) -> u64 {
+        self.base.rows_removed() + self.vd.rows_removed()
+    }
+
+    /// Total estimated heap bytes reclaimed across all stores.
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.base.bytes_reclaimed + self.vd.bytes_reclaimed
     }
 }
 
@@ -234,6 +289,18 @@ mod tests {
         assert_eq!(d.comp_queries, 1);
         assert_eq!(d.forward_queries, 0);
         assert_eq!(d.base_rows_read, 2);
+    }
+
+    #[test]
+    fn scan_compaction_counters_and_rate() {
+        let s = PropStats::new();
+        assert_eq!(s.snapshot().scan_compaction_save_rate(), 0.0);
+        s.record_scan_compaction(10, 4);
+        s.record_scan_compaction(2, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.compact_rows_in, 12);
+        assert_eq!(snap.compact_rows_saved, 6);
+        assert_eq!(snap.scan_compaction_save_rate(), 0.5);
     }
 
     #[test]

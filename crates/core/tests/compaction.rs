@@ -1,0 +1,401 @@
+//! φ-equivalence oracle for early compaction: under any update history,
+//! propagation running with `CompactionPolicy::OnScan` or
+//! `CompactionPolicy::Background` must produce a view delta with the same
+//! net effect (`φ`, Definition 4.1) as the uncompacted run, and refresh
+//! from the compacted delta must land the MV exactly on the oracle state.
+//! Compaction changes *how many rows carry* a net effect, never the net
+//! effect itself — φ is linear over SPJ propagation (Lemma 4.2), and store
+//! rewrites stay below the global LWM no future read starts under. These
+//! tests are the executable form of that claim, including with a live
+//! background compactor racing concurrent updaters.
+
+use proptest::prelude::*;
+use rolljoin_common::{tup, ColumnType, Csn, Error, Schema, TableId, TimeInterval, Tuple};
+use rolljoin_core::{
+    compute_delta, materialize, oracle, roll_to, spawn_compaction_driver, CompactionPolicy,
+    DeltaWorker, MaintCtx, MaterializedView, PropQuery, ViewDef,
+};
+use rolljoin_relalg::{net_effect, JoinSpec, NetEffect};
+use rolljoin_storage::{Engine, LockGranularity};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An n-way chain `R1(k0,k1) ⋈ … ⋈ Rn(k_{n-1},k_n)` projected to
+/// `(k0, k_n)`, with indexes on both columns of every table (same shape as
+/// the striped-locking suite).
+fn chain(name: &str, n: usize) -> (MaintCtx, Vec<TableId>) {
+    let e = Engine::new();
+    let mut tables = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = e
+            .create_table(
+                &format!("{name}_r{i}"),
+                Schema::new([
+                    (format!("k{i}"), ColumnType::Int),
+                    (format!("k{}", i + 1), ColumnType::Int),
+                ]),
+            )
+            .unwrap();
+        e.create_index(t, 0).unwrap();
+        e.create_index(t, 1).unwrap();
+        tables.push(t);
+    }
+    let slot_schemas: Vec<Schema> = tables.iter().map(|t| e.schema(*t).unwrap()).collect();
+    let equi: Vec<(usize, usize)> = (0..n.saturating_sub(1))
+        .map(|i| (2 * i + 1, 2 * (i + 1)))
+        .collect();
+    let view = ViewDef::new(
+        &e,
+        name,
+        tables.clone(),
+        JoinSpec {
+            slot_schemas,
+            equi,
+            filter: None,
+            projection: vec![0, 2 * n - 1],
+        },
+    )
+    .unwrap();
+    let mv = MaterializedView::register(&e, view).unwrap();
+    (MaintCtx::new(e, mv), tables)
+}
+
+/// One base-table operation in a generated history. Keys are drawn from a
+/// tiny domain so histories are churn-heavy: the same tuple is inserted
+/// and deleted repeatedly, which is exactly what compaction collapses.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert (table_idx, key, payload).
+    Insert(usize, i64, i64),
+    /// Delete an arbitrary live tuple of table_idx (by index).
+    Delete(usize, usize),
+}
+
+fn arb_ops(tables: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0..tables, 0i64..4, 0i64..50).prop_map(|(t, k, p)| Op::Insert(t, k, p)),
+            1 => (0..tables, any::<prop::sample::Index>())
+                .prop_map(|(t, i)| Op::Delete(t, i.index(1 << 20))),
+        ],
+        0..len,
+    )
+}
+
+fn apply_ops(ctx: &MaintCtx, tables: &[TableId], ops: &[Op]) {
+    let mut live: Vec<Vec<Tuple>> = vec![Vec::new(); tables.len()];
+    for op in ops {
+        match op {
+            Op::Insert(t, k, p) => {
+                let tuple = tup![*k, *p % 4];
+                let mut txn = ctx.engine.begin();
+                txn.insert(tables[*t], tuple.clone()).unwrap();
+                txn.commit().unwrap();
+                live[*t].push(tuple);
+            }
+            Op::Delete(t, i) => {
+                if live[*t].is_empty() {
+                    continue;
+                }
+                let idx = i % live[*t].len();
+                let victim = live[*t].swap_remove(idx);
+                let mut txn = ctx.engine.begin();
+                txn.delete_one(tables[*t], &victim).unwrap();
+                txn.commit().unwrap();
+            }
+        }
+    }
+}
+
+/// Replay `ops` on a fresh n-way chain and propagate the whole history in
+/// `steps` windows under the given compaction policy. Under `Background`
+/// the stores are compacted between steps; halfway through, the MV is
+/// rolled to the frontier (a mid-run `roll_to`, which under any non-`Off`
+/// policy also φ-compacts the view delta below the new apply position).
+/// Returns the context, materialization time, history end, and `φ` of the
+/// full produced view delta.
+fn run_chain(
+    name: &str,
+    n: usize,
+    ops: &[Op],
+    policy: CompactionPolicy,
+    workers: usize,
+    steps: usize,
+) -> (MaintCtx, Csn, Csn, NetEffect) {
+    let (ctx, tables) = chain(name, n);
+    let ctx = ctx.with_workers(workers).with_compaction(policy);
+    let mat = materialize(&ctx).unwrap();
+    apply_ops(&ctx, &tables, ops);
+    let end = ctx.engine.current_csn();
+    let span = end - mat;
+    let mut frontier = mat;
+    for s in 1..=steps {
+        let hi = if s == steps {
+            end
+        } else {
+            mat + span * s as Csn / steps as Csn
+        };
+        if hi <= frontier {
+            continue;
+        }
+        compute_delta(&ctx, &PropQuery::all_base(n), 1, &vec![frontier; n], hi).unwrap();
+        ctx.mv.set_hwm(hi);
+        frontier = hi;
+        if s == steps / 2 {
+            roll_to(&ctx, frontier).unwrap();
+        }
+        if matches!(policy, CompactionPolicy::Background(_)) {
+            ctx.compact_stores().unwrap();
+        }
+    }
+    let vd = ctx
+        .engine
+        .vd_range(ctx.mv.vd_table, TimeInterval::new(mat, end))
+        .unwrap();
+    (ctx, mat, end, net_effect(vd))
+}
+
+/// Roll to the end of history and compare the MV against the oracle.
+fn check_final_state(ctx: &MaintCtx, end: Csn) -> Result<(), TestCaseError> {
+    ctx.engine.capture_catch_up().unwrap();
+    if end > ctx.mv.mat_time() {
+        roll_to(ctx, end).unwrap();
+    }
+    let got = oracle::mv_state(&ctx.engine, &ctx.mv).unwrap();
+    let want = oracle::view_at(&ctx.engine, &ctx.mv.view, end).unwrap();
+    prop_assert_eq!(got, want, "compacted MV diverged from oracle at t={}", end);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// 2..4-way chains: propagation under `OnScan` and `Background(1)`
+    /// (compact as aggressively as possible, with mid-run rolls and
+    /// between-step store compaction) φ-matches the uncompacted run on
+    /// the same history, and refresh from the compacted delta hits the
+    /// oracle at the end of history.
+    #[test]
+    fn compaction_policies_phi_match(
+        n in 2usize..5,
+        ops in arb_ops(4, 20),
+        workers in 1usize..3,
+        steps in 1usize..4,
+    ) {
+        let ops: Vec<Op> = ops
+            .iter()
+            .filter(|op| match op {
+                Op::Insert(t, ..) | Op::Delete(t, _) => *t < n,
+            })
+            .cloned()
+            .collect();
+        let (_, mat_off, end_off, phi_off) =
+            run_chain("co", n, &ops, CompactionPolicy::Off, workers, 1);
+        let (ctx_scan, mat_s, end_s, phi_scan) =
+            run_chain("cs", n, &ops, CompactionPolicy::OnScan, workers, steps);
+        let (ctx_bg, mat_b, end_b, phi_bg) =
+            run_chain("cb", n, &ops, CompactionPolicy::Background(1), workers, steps);
+        prop_assert_eq!((mat_off, end_off), (mat_s, end_s), "identical histories");
+        prop_assert_eq!((mat_off, end_off), (mat_b, end_b), "identical histories");
+        prop_assert_eq!(&phi_off, &phi_scan, "φ(OnScan) ≠ φ(Off)");
+        prop_assert_eq!(&phi_off, &phi_bg, "φ(Background) ≠ φ(Off)");
+        check_final_state(&ctx_scan, end_s)?;
+        check_final_state(&ctx_bg, end_b)?;
+    }
+}
+
+/// Scan-level compaction visibly reduces what the joins read: a hot key
+/// churned up and down nets to a single surviving insert, and the OnScan
+/// run reports the eliminated rows while producing the same view delta.
+#[test]
+fn on_scan_compaction_shrinks_hot_key_churn() {
+    let build = |policy| {
+        let (ctx, tables) = chain(
+            if policy == CompactionPolicy::Off {
+                "hk0"
+            } else {
+                "hk1"
+            },
+            2,
+        );
+        let ctx = ctx.with_compaction(policy);
+        let mat = materialize(&ctx).unwrap();
+        // Matching row on the far side so the hot key joins.
+        let mut txn = ctx.engine.begin();
+        txn.insert(tables[1], tup![7, 7]).unwrap();
+        txn.commit().unwrap();
+        // Hot-key churn on the near side: 30 insert/delete pairs + 1 net insert.
+        for _ in 0..30 {
+            let mut txn = ctx.engine.begin();
+            txn.insert(tables[0], tup![1, 7]).unwrap();
+            txn.commit().unwrap();
+            let mut txn = ctx.engine.begin();
+            txn.delete_one(tables[0], &tup![1, 7]).unwrap();
+            txn.commit().unwrap();
+        }
+        let mut txn = ctx.engine.begin();
+        txn.insert(tables[0], tup![1, 7]).unwrap();
+        txn.commit().unwrap();
+        let end = ctx.engine.current_csn();
+        compute_delta(&ctx, &PropQuery::all_base(2), 1, &[mat; 2], end).unwrap();
+        ctx.mv.set_hwm(end);
+        let vd = ctx
+            .engine
+            .vd_range(ctx.mv.vd_table, TimeInterval::new(mat, end))
+            .unwrap();
+        (ctx, net_effect(vd))
+    };
+    let (ctx_off, phi_off) = build(CompactionPolicy::Off);
+    let (ctx_on, phi_on) = build(CompactionPolicy::OnScan);
+    assert_eq!(phi_off, phi_on, "φ must be preserved");
+    assert_eq!(phi_on[&tup![1, 7]], 1);
+    let off = ctx_off.stats.snapshot();
+    let on = ctx_on.stats.snapshot();
+    assert_eq!(off.compact_rows_saved, 0, "Off never compacts");
+    assert!(
+        on.compact_rows_saved >= 60,
+        "61 raw churn rows collapse to 1 (saved {})",
+        on.compact_rows_saved
+    );
+    assert!(
+        on.delta_rows_read < off.delta_rows_read,
+        "joins read net churn ({} < {})",
+        on.delta_rows_read,
+        off.delta_rows_read
+    );
+}
+
+/// Store-level compaction below the LWM: after propagation and a roll,
+/// `compact_stores` physically shrinks the base delta history and the view
+/// delta, the compaction report accounts for the removals, and reads at or
+/// above the LWM (oracle reconstruction, net ranges) are unchanged.
+#[test]
+fn compact_stores_shrinks_history_below_lwm() {
+    let (ctx, tables) = chain("st", 2);
+    let ctx = ctx.with_compaction(CompactionPolicy::Background(1));
+    let mat = materialize(&ctx).unwrap();
+    let mut txn = ctx.engine.begin();
+    txn.insert(tables[1], tup![3, 3]).unwrap();
+    txn.commit().unwrap();
+    for _ in 0..10 {
+        let mut txn = ctx.engine.begin();
+        txn.insert(tables[0], tup![1, 3]).unwrap();
+        txn.commit().unwrap();
+        let mut txn = ctx.engine.begin();
+        txn.delete_one(tables[0], &tup![1, 3]).unwrap();
+        txn.commit().unwrap();
+    }
+    let end = ctx.engine.current_csn();
+    compute_delta(&ctx, &PropQuery::all_base(2), 1, &[mat; 2], end).unwrap();
+    ctx.mv.set_hwm(end);
+    roll_to(&ctx, end).unwrap();
+    let before = ctx.engine.delta_store(tables[0]).unwrap().len();
+    let removed = ctx.compact_stores().unwrap();
+    let after = ctx.engine.delta_store(tables[0]).unwrap().len();
+    assert!(removed > 0, "churn below the LWM must compact away");
+    assert!(
+        after < before,
+        "store physically shrank ({after} < {before})"
+    );
+    let report = ctx.compaction_report().unwrap();
+    assert!(report.rows_removed() > 0);
+    assert!(report.base.rows_removed() > 0);
+    // History at the LWM is still exact: the oracle can reconstruct the
+    // end-of-history state and it matches the rolled MV.
+    let got = oracle::mv_state(&ctx.engine, &ctx.mv).unwrap();
+    let want = oracle::view_at(&ctx.engine, &ctx.mv.view, end).unwrap();
+    assert_eq!(got, want);
+    // Reads starting below the LWM are refused, not silently wrong.
+    assert!(ctx
+        .engine
+        .delta_range(tables[0], TimeInterval::new(mat, end))
+        .is_err());
+}
+
+/// The background compactor racing live updater transactions and a
+/// propagating worker: stores are compacted under the advancing LWM while
+/// windows propagate and the MV rolls forward; the final rolled MV must
+/// equal the oracle state.
+#[test]
+fn background_compactor_with_concurrent_updaters_matches_oracle() {
+    const N: usize = 3;
+    const KEYS: i64 = 8;
+    let (ctx, tables) = chain("bgc", N);
+    let ctx = ctx
+        .with_workers(2)
+        .with_lock_granularity(LockGranularity::Striped(64))
+        .with_compaction(CompactionPolicy::Background(1));
+    let mat = materialize(&ctx).unwrap();
+    let mut txn = ctx.engine.begin();
+    for k in 0..KEYS {
+        for t in &tables {
+            txn.insert(*t, tup![k, k]).unwrap();
+        }
+    }
+    txn.commit().unwrap();
+
+    let compactor = spawn_compaction_driver(ctx.clone(), Duration::from_millis(1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let updaters: Vec<_> = [tables[0], tables[N - 1]]
+        .into_iter()
+        .map(|t| {
+            let e = ctx.engine.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut k = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = e.begin();
+                    txn.insert(t, tup![k % KEYS, k % KEYS]).unwrap();
+                    txn.commit().unwrap();
+                    k += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        })
+        .collect();
+
+    let mut worker = DeltaWorker::new();
+    let mut frontier = mat;
+    let propagate_to = |worker: &mut DeltaWorker, frontier: &mut Csn, end: Csn| {
+        if end <= *frontier {
+            return;
+        }
+        worker.enqueue(PropQuery::all_base(N), 1, vec![*frontier; N], end);
+        loop {
+            match worker.run_auto(&ctx) {
+                Ok(()) => break,
+                Err(Error::LockTimeout { .. }) => continue,
+                Err(e) => panic!("propagation failed: {e}"),
+            }
+        }
+        *frontier = end;
+        ctx.mv.set_hwm(end);
+    };
+    for i in 0..4 {
+        std::thread::sleep(Duration::from_millis(2));
+        let end = ctx.engine.current_csn();
+        propagate_to(&mut worker, &mut frontier, end);
+        if i == 1 {
+            // Advance the apply position mid-run so the compactor's LWM
+            // (min of HWM and apply position) actually moves.
+            roll_to(&ctx, frontier).unwrap();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for u in updaters {
+        u.join().unwrap();
+    }
+    let end = ctx.engine.current_csn();
+    propagate_to(&mut worker, &mut frontier, end);
+
+    ctx.engine.capture_catch_up().unwrap();
+    roll_to(&ctx, frontier).unwrap();
+    compactor.stop().unwrap();
+    let got = oracle::mv_state(&ctx.engine, &ctx.mv).unwrap();
+    let want = oracle::view_at(&ctx.engine, &ctx.mv.view, frontier).unwrap();
+    assert_eq!(
+        got, want,
+        "MV diverged from oracle under a live background compactor"
+    );
+}

@@ -433,9 +433,11 @@ mod tests {
         };
         let (shared, shared_stats) =
             execute_shared(shared_slots(), &spec, -1, Some(&cache)).unwrap();
+        // Compare φ over borrowed rows: net_effect_ref clones one tuple
+        // per group instead of every row.
         assert_eq!(
-            crate::net_effect::net_effect(owned),
-            crate::net_effect::net_effect(shared)
+            crate::net_effect::net_effect_ref(&owned),
+            crate::net_effect::net_effect_ref(&shared)
         );
         assert_eq!(owned_stats, shared_stats);
         // Two shared build sides were hashed fresh; re-running hits both.

@@ -25,6 +25,9 @@ pub use exec::{
     execute, execute_shared, BuildCache, BuildCacheStats, ExecStats, JoinSpec, SlotInput,
 };
 pub use expr::{ArithOp, CmpOp, Expr};
-pub use net_effect::{add, is_multiset, negate, net_effect, net_effect_ref, to_rows, NetEffect};
+pub use net_effect::{
+    add, compact_rows, is_multiset, negate, net_effect, net_effect_ref, to_rows, CompactionOutcome,
+    NetEffect,
+};
 pub use ops::JoinIndex;
 pub use source::{fetch, fetch_cached, SlotSource};

@@ -10,7 +10,7 @@
 //! reproduction's oracles and property tests.
 
 use rolljoin_common::{DeltaRow, Tuple};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Canonical net effect: `tuple → summed count`, zero counts dropped.
 ///
@@ -32,12 +32,77 @@ where
     out
 }
 
-/// `φ` over borrowed rows.
+/// `φ` over borrowed rows. Clones each tuple only on its group's first
+/// occurrence (a cheap `Arc` bump, but done once per *group*, not per
+/// row), never the full row — this is the form hot paths should use.
 pub fn net_effect_ref<'a, I>(rows: I) -> NetEffect
 where
     I: IntoIterator<Item = &'a DeltaRow>,
 {
-    net_effect(rows.into_iter().cloned())
+    let mut out = NetEffect::new();
+    for row in rows {
+        match out.get_mut(&row.tuple) {
+            Some(e) => *e += row.count,
+            None => {
+                out.insert(row.tuple.clone(), row.count);
+            }
+        }
+    }
+    out.retain(|_, c| *c != 0);
+    out
+}
+
+/// Counters from one scan-level φ-compaction ([`compact_rows`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Rows in the raw stream.
+    pub rows_in: usize,
+    /// Rows after merging and zero-dropping.
+    pub rows_out: usize,
+    /// Groups whose counts summed to zero.
+    pub zero_groups: usize,
+}
+
+impl CompactionOutcome {
+    /// Rows eliminated before they could reach a join or cache.
+    pub fn rows_saved(&self) -> usize {
+        self.rows_in - self.rows_out
+    }
+}
+
+/// Timestamp-preserving `φ` over a timestamp-ordered delta slice:
+/// same-tuple rows merge into one row carrying the summed count and the
+/// group's **minimum** timestamp (the §3.3 rule — the first occurrence,
+/// since the input is ordered), and zero-sum groups are dropped. Output
+/// stays timestamp-ordered.
+///
+/// Unlike [`net_effect`], which nulls timestamps and produces a canonical
+/// map, the result is still a delta-row stream usable as a join input:
+/// joined result rows inherit a real (minimum) timestamp, which the
+/// propagation executor requires. The trade-off is granularity — within
+/// the compacted stream, intermediate per-timestamp states are collapsed,
+/// so the stream is exact for consumers reading it whole (a propagation
+/// step reads its delta slot whole) but not for sub-interval reads.
+pub fn compact_rows(rows: &[DeltaRow]) -> (Vec<DeltaRow>, CompactionOutcome) {
+    let mut pos: HashMap<Tuple, usize> = HashMap::with_capacity(rows.len());
+    let mut out: Vec<DeltaRow> = Vec::with_capacity(rows.len());
+    for r in rows {
+        match pos.get(&r.tuple) {
+            Some(&i) => out[i].count += r.count,
+            None => {
+                pos.insert(r.tuple.clone(), out.len());
+                out.push(r.clone());
+            }
+        }
+    }
+    let groups = out.len();
+    out.retain(|r| r.count != 0);
+    let outcome = CompactionOutcome {
+        rows_in: rows.len(),
+        rows_out: out.len(),
+        zero_groups: groups - out.len(),
+    };
+    (out, outcome)
 }
 
 /// Multiset union `R + S` on canonical forms: counts add, zeros drop.
@@ -94,6 +159,36 @@ mod tests {
         let n = net_effect(r);
         assert_eq!(n.len(), 1);
         assert_eq!(n[&tup![20]], 1);
+    }
+
+    #[test]
+    fn ref_form_matches_owned_form() {
+        let r = rows(&[(1, 10), (2, 10), (-3, 10), (1, 20), (-1, 30)]);
+        assert_eq!(net_effect_ref(&r), net_effect(r.clone()));
+        assert_eq!(net_effect_ref(&Vec::new()), NetEffect::new());
+    }
+
+    #[test]
+    fn compact_rows_merges_at_min_ts_and_drops_zeros() {
+        // rows() stamps ts = position + 1.
+        let r = rows(&[(1, 10), (1, 20), (2, 10), (-1, 20), (1, 30)]);
+        let (c, o) = compact_rows(&r);
+        assert_eq!(c.len(), 2);
+        assert_eq!((c[0].ts, c[0].count, &c[0].tuple), (Some(1), 3, &tup![10]));
+        assert_eq!((c[1].ts, c[1].count, &c[1].tuple), (Some(5), 1, &tup![30]));
+        assert_eq!((o.rows_in, o.rows_out, o.zero_groups), (5, 2, 1));
+        assert_eq!(o.rows_saved(), 3);
+        // φ of the compacted stream equals φ of the raw stream.
+        assert_eq!(net_effect_ref(&c), net_effect_ref(&r));
+    }
+
+    #[test]
+    fn compact_rows_is_idempotent() {
+        let r = rows(&[(1, 1), (1, 1), (-2, 2), (1, 2)]);
+        let (once, _) = compact_rows(&r);
+        let (twice, o) = compact_rows(&once);
+        assert_eq!(once, twice);
+        assert_eq!(o.rows_saved(), 0);
     }
 
     #[test]

@@ -96,26 +96,50 @@ pub fn fetch(engine: &Engine, txn: &mut Txn, source: &SlotSource) -> Result<Vec<
 }
 
 /// Fetch one slot, routing delta-range reads through the step-scoped
-/// [`ScanCache`]. Delta ranges are immutable once capture-complete, so a
-/// cached copy is always current; the same range requested by several
-/// constituent queries of one propagation step is materialized once and
-/// shared. Non-delta sources are fetched fresh each time (base reads are
+/// [`ScanCache`]. The same range requested by several constituent queries
+/// of one propagation step is materialized once and shared; cache entries
+/// are keyed on the delta store's content version, so a prune or
+/// φ-compaction between steps invalidates them instead of serving stale
+/// rows. Non-delta sources are fetched fresh each time (base reads are
 /// transactional and must see the executing transaction's state).
 ///
-/// Returns the slot input plus whether the rows came from the cache.
+/// With `compact` set, a freshly materialized delta range is φ-reduced
+/// ([`crate::net_effect::compact_rows`]) *before* it enters the cache, so
+/// every consumer of the entry — join probes, build sides, the cache
+/// itself — works on net churn rather than raw churn.
+///
+/// Returns the slot input, whether the rows came from the cache, and the
+/// raw (pre-compaction) row count of the range, for stats.
 pub fn fetch_cached(
     engine: &Engine,
     txn: &mut Txn,
     source: &SlotSource,
     cache: &ScanCache,
-) -> Result<(SlotInput, bool)> {
+    compact: bool,
+) -> Result<(SlotInput, bool, usize)> {
     match source {
         SlotSource::Delta(table, interval) => {
-            let (rows, hit) =
-                cache.get_or_fetch(*table, *interval, || engine.delta_range(*table, *interval))?;
-            Ok((SlotInput::Shared(rows, *table, *interval), hit))
+            let version = engine.delta_store(*table)?.version();
+            let mut raw_rows = 0usize;
+            let (rows, hit) = cache.get_or_fetch(*table, *interval, version, || {
+                let fetched = engine.delta_range(*table, *interval)?;
+                raw_rows = fetched.len();
+                if compact {
+                    Ok(crate::net_effect::compact_rows(&fetched).0)
+                } else {
+                    Ok(fetched)
+                }
+            })?;
+            if hit {
+                raw_rows = rows.len();
+            }
+            Ok((SlotInput::Shared(rows, *table, *interval), hit, raw_rows))
         }
-        other => Ok((SlotInput::Owned(fetch(engine, txn, other)?), false)),
+        other => {
+            let rows = fetch(engine, txn, other)?;
+            let n = rows.len();
+            Ok((SlotInput::Owned(rows), false, n))
+        }
     }
 }
 
@@ -179,9 +203,10 @@ mod tests {
         let cache = ScanCache::new();
         let src = SlotSource::Delta(t, TimeInterval::new(0, c1));
         let mut txn = e.begin();
-        let (first, hit) = fetch_cached(&e, &mut txn, &src, &cache).unwrap();
+        let (first, hit, raw) = fetch_cached(&e, &mut txn, &src, &cache, false).unwrap();
         assert!(!hit);
-        let (second, hit) = fetch_cached(&e, &mut txn, &src, &cache).unwrap();
+        assert_eq!(raw, 1);
+        let (second, hit, _) = fetch_cached(&e, &mut txn, &src, &cache, false).unwrap();
         assert!(hit);
         match (&first, &second) {
             (SlotInput::Shared(a, ta, iva), SlotInput::Shared(b, tb, ivb)) => {
@@ -192,10 +217,48 @@ mod tests {
             _ => panic!("delta fetch should be shared"),
         }
         // Base reads bypass the cache.
-        let (base, hit) = fetch_cached(&e, &mut txn, &SlotSource::Base(t), &cache).unwrap();
+        let (base, hit, _) =
+            fetch_cached(&e, &mut txn, &SlotSource::Base(t), &cache, false).unwrap();
         assert!(!hit);
         assert!(matches!(base, SlotInput::Owned(_)));
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn fetch_cached_compacts_before_caching() {
+        let (e, t) = engine();
+        // Hot-key churn netting to +1 of tup![1] plus +1 of tup![2].
+        let mut w = e.begin();
+        w.insert(t, tup![1]).unwrap();
+        w.commit().unwrap();
+        let mut w = e.begin();
+        w.delete_one(t, &tup![1]).unwrap();
+        w.commit().unwrap();
+        let mut w = e.begin();
+        w.insert(t, tup![1]).unwrap();
+        w.insert(t, tup![2]).unwrap();
+        let c3 = w.commit().unwrap();
+        e.capture_catch_up().unwrap();
+        let cache = ScanCache::new();
+        let src = SlotSource::Delta(t, TimeInterval::new(0, c3));
+        let mut txn = e.begin();
+        let (input, hit, raw) = fetch_cached(&e, &mut txn, &src, &cache, true).unwrap();
+        assert!(!hit);
+        assert_eq!(raw, 4, "raw churn reported for stats");
+        assert_eq!(input.len(), 2, "cache entry holds the φ-reduced run");
+        // The *compacted* rows are what the cache serves from now on.
+        let (again, hit, raw) = fetch_cached(&e, &mut txn, &src, &cache, true).unwrap();
+        assert!(hit);
+        assert_eq!(raw, 2);
+        assert_eq!(again.len(), 2);
+        // Min-timestamp rule: the surviving tup![1] row carries ts = 1.
+        match &input {
+            SlotInput::Shared(rows, ..) => {
+                let one = rows.iter().find(|r| r.tuple == tup![1]).unwrap();
+                assert_eq!((one.ts, one.count), (Some(1), 1));
+            }
+            _ => panic!("delta fetch should be shared"),
+        }
     }
 
     #[test]

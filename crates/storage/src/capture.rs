@@ -113,6 +113,22 @@ impl Capture {
             WalRecord::Abort { txn } => {
                 self.pending.remove(txn);
             }
+            WalRecord::Apply {
+                txn,
+                table,
+                count,
+                tuple,
+            } => {
+                // A consolidated change: one staged record carrying the
+                // whole signed multiplicity, so the delta store receives
+                // one φ-compact row instead of |count| unit rows.
+                if *count != 0 && self.deltas.contains_key(table) {
+                    self.pending
+                        .entry(*txn)
+                        .or_default()
+                        .push((*table, *count, tuple.clone()));
+                }
+            }
             WalRecord::CreateTable { .. } | WalRecord::CreateIndex { .. } => {}
         }
     }
@@ -177,6 +193,33 @@ mod tests {
         assert_eq!(r1[0].ts, Some(7));
         let r2 = d2.range(rolljoin_common::TimeInterval::new(0, 7));
         assert_eq!(r2[0].count, -1);
+    }
+
+    #[test]
+    fn apply_records_capture_as_one_counted_row() {
+        let (wal, mut cap, d1, _d2) = setup();
+        wal.append(&WalRecord::Begin { txn: TxnId(1) });
+        wal.append(&WalRecord::Apply {
+            txn: TxnId(1),
+            table: TableId(1),
+            count: 5,
+            tuple: tup![10],
+        });
+        wal.append(&WalRecord::Apply {
+            txn: TxnId(1),
+            table: TableId(1),
+            count: -2,
+            tuple: tup![20],
+        });
+        wal.append(&WalRecord::Commit {
+            txn: TxnId(1),
+            csn: 4,
+            wallclock_micros: 1,
+        });
+        cap.catch_up().unwrap();
+        let rows = d1.range(rolljoin_common::TimeInterval::new(0, 4));
+        assert_eq!(rows.len(), 2, "one delta row per Apply record");
+        assert_eq!((rows[0].count, rows[1].count), (5, -2));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! trace.
 
 use parking_lot::RwLock;
-use rolljoin_common::{Csn, DeltaRow, Error, Result, TableId, TimeInterval, Tuple};
+use rolljoin_common::{Csn, DeltaRow, Error, Result, TableId, TimeInterval, Tuple, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,11 +28,89 @@ struct DeltaBase {
     counts: HashMap<Tuple, i64>,
 }
 
+/// Point-in-time copy of a store's φ-compaction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Change records folded into an earlier same-tuple record.
+    pub rows_merged: u64,
+    /// Tuple groups whose counts summed to zero and were dropped outright.
+    pub zero_runs_dropped: u64,
+    /// Estimated heap bytes released by removed records.
+    pub bytes_reclaimed: u64,
+}
+
+impl CompactionStats {
+    /// Fold another snapshot into this one (aggregation across stores).
+    pub fn merge(&mut self, o: &CompactionStats) {
+        self.rows_merged += o.rows_merged;
+        self.zero_runs_dropped += o.zero_runs_dropped;
+        self.bytes_reclaimed += o.bytes_reclaimed;
+    }
+
+    /// Total records physically removed (merged duplicates + zero groups).
+    pub fn rows_removed(&self) -> u64 {
+        self.rows_merged + self.zero_runs_dropped
+    }
+}
+
+/// Live compaction counters (one set per store).
+#[derive(Default)]
+struct CompactionCounters {
+    rows_merged: AtomicU64,
+    zero_runs_dropped: AtomicU64,
+    bytes_reclaimed: AtomicU64,
+}
+
+impl CompactionCounters {
+    fn record(&self, merged: u64, zeros: u64, bytes: u64) {
+        self.rows_merged.fetch_add(merged, Ordering::Relaxed);
+        self.zero_runs_dropped.fetch_add(zeros, Ordering::Relaxed);
+        self.bytes_reclaimed.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CompactionStats {
+        CompactionStats {
+            rows_merged: self.rows_merged.load(Ordering::Relaxed),
+            zero_runs_dropped: self.zero_runs_dropped.load(Ordering::Relaxed),
+            bytes_reclaimed: self.bytes_reclaimed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Rough heap footprint of a tuple's value payload, used only for the
+/// `bytes_reclaimed` counter.
+fn approx_tuple_bytes(t: &Tuple) -> u64 {
+    t.values()
+        .iter()
+        .map(|v| {
+            (std::mem::size_of::<Value>()
+                + match v {
+                    Value::Str(s) => s.len(),
+                    _ => 0,
+                }) as u64
+        })
+        .sum()
+}
+
+/// Rough heap footprint of one change record (shallow struct + payload).
+fn approx_row_bytes(r: &DeltaRow) -> u64 {
+    std::mem::size_of::<DeltaRow>() as u64 + approx_tuple_bytes(&r.tuple)
+}
+
 /// Append-only, CSN-ordered base-table delta (`Δ^R`).
 pub struct DeltaStore {
     table: TableId,
     rows: RwLock<Vec<DeltaRow>>,
     base: RwLock<DeltaBase>,
+    /// Highest CSN below which same-tuple records may have been merged
+    /// (min-timestamp rule). Reads that dip below it would see rewritten
+    /// timestamps, so they are refused like pruned history.
+    compacted_through: AtomicU64,
+    /// Bumped whenever held rows are rewritten in place (prune or compact);
+    /// lets range caches detect that a cached `(table, interval)` entry no
+    /// longer matches the store contents.
+    version: AtomicU64,
+    compaction: CompactionCounters,
 }
 
 /// Index of the first row with timestamp strictly greater than `t` —
@@ -57,6 +135,9 @@ impl DeltaStore {
             table,
             rows: RwLock::new(Vec::new()),
             base: RwLock::new(DeltaBase::default()),
+            compacted_through: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            compaction: CompactionCounters::default(),
         }
     }
 
@@ -64,6 +145,30 @@ impl DeltaStore {
     /// `range`/`reconstruct_at` below it are unavailable.
     pub fn pruned_through(&self) -> Csn {
         self.base.read().through
+    }
+
+    /// Highest CSN below which same-tuple records may have been merged.
+    pub fn compacted_through(&self) -> Csn {
+        self.compacted_through.load(Ordering::Acquire)
+    }
+
+    /// The read floor: ranges starting below this (and reconstructions at
+    /// times below it) are refused — history there has been pruned away or
+    /// rewritten by compaction.
+    pub fn floor(&self) -> Csn {
+        self.pruned_through().max(self.compacted_through())
+    }
+
+    /// Content version: bumped whenever held rows are rewritten in place
+    /// (prune or compaction). Range caches key their entries on this so a
+    /// rewrite invalidates them.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Compaction counters accumulated over the store's lifetime.
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.compaction.snapshot()
     }
 
     /// Fold all change records with timestamp ≤ `through` into the base
@@ -79,7 +184,62 @@ impl DeltaStore {
         }
         base.counts.retain(|_, c| *c != 0);
         base.through = base.through.max(through);
+        if hi > 0 {
+            self.version.fetch_add(1, Ordering::AcqRel);
+        }
         hi
+    }
+
+    /// φ-compact held history: merge same-tuple change records with
+    /// timestamp ≤ `lwm` into one record each (counts summed, **minimum**
+    /// timestamp kept per the §3.3 rule) and drop groups whose counts sum
+    /// to zero. Returns the number of records removed.
+    ///
+    /// Sound only when `lwm` is a *global low-water mark*: every
+    /// propagation frontier and the apply position have passed it, so no
+    /// future read's interval starts below `lwm` — any `σ_{a,b}` with
+    /// `a ≥ lwm` excludes whole groups and any reconstruction at `t ≥ lwm`
+    /// includes whole groups, both of which φ-commute with the merge
+    /// (Definition 4.1 linearity). If nothing merges, the store is left
+    /// untouched and stays fully readable below `lwm`.
+    pub fn compact_through(&self, lwm: Csn) -> usize {
+        let mut rows = self.rows.write();
+        let hi = lower_bound(&rows, lwm);
+        if hi < 2 {
+            return 0;
+        }
+        // Group by tuple in first-occurrence order: rows are CSN-sorted, so
+        // the first occurrence carries the group's minimum timestamp and
+        // the merged prefix stays timestamp-sorted.
+        let mut pos: HashMap<Tuple, usize> = HashMap::with_capacity(hi);
+        let mut merged: Vec<DeltaRow> = Vec::with_capacity(hi);
+        for r in &rows[..hi] {
+            match pos.get(&r.tuple) {
+                Some(&i) => merged[i].count += r.count,
+                None => {
+                    pos.insert(r.tuple.clone(), merged.len());
+                    merged.push(r.clone());
+                }
+            }
+        }
+        let groups = merged.len();
+        let zeros = merged.iter().filter(|r| r.count == 0).count();
+        if groups == hi && zeros == 0 {
+            return 0;
+        }
+        merged.retain(|r| r.count != 0);
+        let removed = hi - merged.len();
+        let before: u64 = rows[..hi].iter().map(approx_row_bytes).sum();
+        let after: u64 = merged.iter().map(approx_row_bytes).sum();
+        rows.splice(..hi, merged);
+        self.compaction.record(
+            (hi - groups) as u64,
+            zeros as u64,
+            before.saturating_sub(after),
+        );
+        self.compacted_through.fetch_max(lwm, Ordering::AcqRel);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        removed
     }
 
     /// The base table this delta describes.
@@ -151,11 +311,12 @@ impl DeltaStore {
     pub fn reconstruct_at(&self, t: Csn) -> Result<HashMap<Tuple, i64>> {
         let rows = self.rows.read();
         let base = self.base.read();
-        if t < base.through {
+        let floor = base.through.max(self.compacted_through());
+        if t < floor {
             return Err(Error::HistoryPruned {
                 table: self.table,
                 requested: t,
-                pruned_through: base.through,
+                pruned_through: floor,
             });
         }
         let hi = lower_bound(&rows, t);
@@ -175,6 +336,7 @@ impl DeltaStore {
 pub struct ViewDeltaStore {
     table: TableId,
     rows: RwLock<BTreeMap<Csn, Vec<(i64, Tuple)>>>,
+    compaction: CompactionCounters,
 }
 
 /// Undo handle for transactional view-delta inserts: positions to truncate
@@ -190,7 +352,13 @@ impl ViewDeltaStore {
         ViewDeltaStore {
             table,
             rows: RwLock::new(BTreeMap::new()),
+            compaction: CompactionCounters::default(),
         }
+    }
+
+    /// Compaction counters accumulated over the store's lifetime.
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.compaction.snapshot()
     }
 
     pub fn table(&self) -> TableId {
@@ -265,6 +433,62 @@ impl ViewDeltaStore {
         dropped
     }
 
+    /// φ-compact all records with timestamp ≤ `t` (the apply position):
+    /// merge same-tuple records into one at the group's minimum timestamp,
+    /// drop zero-sum groups. Unlike [`ViewDeltaStore::prune_through`] the
+    /// net effect of the compacted region is preserved, so `range`/
+    /// `net_range` over any interval containing the whole region — in
+    /// particular the `(mat_time, target]` windows apply reads, since
+    /// `t ≤ mat_time` — are unchanged. Returns records removed.
+    pub fn compact_through(&self, t: Csn) -> usize {
+        let mut rows = self.rows.write();
+        let keep = rows.split_off(&(t + 1));
+        let before: usize = rows.values().map(Vec::len).sum();
+        if before < 2 {
+            rows.extend(keep);
+            return 0;
+        }
+        // Buckets iterate in timestamp order, so a group's first
+        // occurrence carries its minimum timestamp (§3.3 rule).
+        let mut pos: HashMap<Tuple, usize> = HashMap::with_capacity(before);
+        let mut groups: Vec<(Csn, i64, Tuple)> = Vec::with_capacity(before);
+        let row_overhead = std::mem::size_of::<(i64, Tuple)>() as u64;
+        let mut bytes_before = 0u64;
+        for (&ts, bucket) in rows.iter() {
+            for (count, tuple) in bucket {
+                bytes_before += row_overhead + approx_tuple_bytes(tuple);
+                match pos.get(tuple) {
+                    Some(&i) => groups[i].1 += *count,
+                    None => {
+                        pos.insert(tuple.clone(), groups.len());
+                        groups.push((ts, *count, tuple.clone()));
+                    }
+                }
+            }
+        }
+        let n_groups = groups.len();
+        let zeros = groups.iter().filter(|g| g.1 == 0).count();
+        let mut rebuilt: BTreeMap<Csn, Vec<(i64, Tuple)>> = BTreeMap::new();
+        let mut after = 0usize;
+        let mut bytes_after = 0u64;
+        for (ts, count, tuple) in groups {
+            if count == 0 {
+                continue;
+            }
+            bytes_after += row_overhead + approx_tuple_bytes(&tuple);
+            rebuilt.entry(ts).or_default().push((count, tuple));
+            after += 1;
+        }
+        rebuilt.extend(keep);
+        *rows = rebuilt;
+        self.compaction.record(
+            (before - n_groups) as u64,
+            zeros as u64,
+            bytes_before.saturating_sub(bytes_after),
+        );
+        before - after
+    }
+
     /// Total records held.
     pub fn len(&self) -> usize {
         self.rows.read().values().map(Vec::len).sum()
@@ -300,12 +524,18 @@ impl ScanCacheStats {
     }
 }
 
+/// A cached range scan: the [`DeltaStore::version`] it was fetched at
+/// plus the materialized rows.
+type VersionedRows = (u64, Arc<Vec<DeltaRow>>);
+
 #[derive(Default)]
 struct ScanCacheInner {
     /// Epoch (the caller's propagation HWM) the live entries were
     /// materialized under.
     epoch: Csn,
-    ranges: HashMap<(TableId, TimeInterval), Arc<Vec<DeltaRow>>>,
+    /// Entries carry the version they were fetched at, so a store
+    /// rewrite (prune or φ-compaction) makes them unservable.
+    ranges: HashMap<(TableId, TimeInterval), VersionedRows>,
 }
 
 /// Step-scoped cache of materialized delta-range scans.
@@ -317,11 +547,15 @@ struct ScanCacheInner {
 /// shared read-only [`Arc`]s instead.
 ///
 /// Soundness: a range `(a, b]` with `b` at or below the capture HWM is
-/// immutable (capture appends in CSN order), so a cached entry can never be
-/// stale. Invalidation is therefore purely a *memory bound*: when the
-/// caller's epoch — the propagation HWM, which advances only as steps
-/// complete — moves past the one the entries were computed under, the step
-/// that shared them has moved on and the whole cache is dropped
+/// immutable against *appends* (capture appends in CSN order), but prune
+/// and φ-compaction rewrite held rows in place. Every entry therefore
+/// records the [`DeltaStore::version`] it was fetched at, and a lookup
+/// whose caller-supplied version differs is a miss that *replaces* the
+/// stale entry — a cached range can never be served across a rewrite.
+/// Epoch advancement is then purely a *memory bound*: when the caller's
+/// epoch — the propagation HWM, which advances only as steps complete —
+/// moves past the one the entries were computed under, the step that
+/// shared them has moved on and the whole cache is dropped
 /// ([`ScanCache::advance_epoch`]). The *capture* HWM would be the wrong
 /// epoch: it advances on every concurrent updater commit and would evict a
 /// live step's working set.
@@ -358,28 +592,44 @@ impl ScanCache {
         }
     }
 
-    /// Look up `(table, interval)`, materializing it with `fetch` on a
-    /// miss. Returns the shared rows and whether this was a hit.
+    /// Look up `(table, interval)` at the store's current content
+    /// `version`, materializing it with `fetch` on a miss. A cached entry
+    /// fetched at a different version is stale (the store was pruned or
+    /// compacted since) and is replaced. Returns the shared rows and
+    /// whether this was a hit.
     pub fn get_or_fetch(
         &self,
         table: TableId,
         interval: TimeInterval,
+        version: u64,
         fetch: impl FnOnce() -> Result<Vec<DeltaRow>>,
     ) -> Result<(Arc<Vec<DeltaRow>>, bool)> {
         let key = (table, interval);
-        if let Some(rows) = self.inner.read().ranges.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.rows_served
-                .fetch_add(rows.len() as u64, Ordering::Relaxed);
-            return Ok((rows.clone(), true));
+        if let Some((v, rows)) = self.inner.read().ranges.get(&key) {
+            if *v == version {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.rows_served
+                    .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                return Ok((rows.clone(), true));
+            }
         }
         // Materialize outside the write lock; racing fetchers of the same
         // range do duplicate work at most once.
         let rows = Arc::new(fetch()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
-        let entry = inner.ranges.entry(key).or_insert_with(|| rows.clone());
-        Ok((entry.clone(), false))
+        let entry = inner
+            .ranges
+            .entry(key)
+            .and_modify(|e| {
+                // Replace (never keep) an entry from another version —
+                // `or_insert` semantics would re-serve the stale rows.
+                if e.0 != version {
+                    *e = (version, rows.clone());
+                }
+            })
+            .or_insert_with(|| (version, rows.clone()));
+        Ok((entry.1.clone(), false))
     }
 
     /// Number of live entries.
@@ -515,12 +765,12 @@ mod tests {
         let cache = ScanCache::new();
         let iv = TimeInterval::new(0, 2);
         let (a, hit) = cache
-            .get_or_fetch(TableId(1), iv, || Ok(d.range(iv)))
+            .get_or_fetch(TableId(1), iv, d.version(), || Ok(d.range(iv)))
             .unwrap();
         assert!(!hit);
         assert_eq!(a.len(), 2);
         let (b, hit) = cache
-            .get_or_fetch(TableId(1), iv, || panic!("must not refetch"))
+            .get_or_fetch(TableId(1), iv, d.version(), || panic!("must not refetch"))
             .unwrap();
         assert!(hit);
         assert!(Arc::ptr_eq(&a, &b), "hit returns the same allocation");
@@ -534,17 +784,142 @@ mod tests {
         let cache = ScanCache::new();
         let iv = TimeInterval::new(0, 3);
         cache
-            .get_or_fetch(TableId(1), iv, || Ok(vec![DeltaRow::change(1, 1, tup![1])]))
+            .get_or_fetch(TableId(1), iv, 0, || {
+                Ok(vec![DeltaRow::change(1, 1, tup![1])])
+            })
             .unwrap();
         cache.advance_epoch(3);
         assert_eq!(cache.len(), 0, "newer HWM drops the step's entries");
         assert_eq!(cache.epoch(), 3);
         // Same HWM again: entries from the current step survive.
         cache
-            .get_or_fetch(TableId(1), iv, || Ok(vec![DeltaRow::change(1, 1, tup![1])]))
+            .get_or_fetch(TableId(1), iv, 0, || {
+                Ok(vec![DeltaRow::change(1, 1, tup![1])])
+            })
             .unwrap();
         cache.advance_epoch(3);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn scan_cache_version_mismatch_replaces_stale_entry() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![7])]);
+        d.append_commit(2, [(-1, tup![7])]);
+        d.append_commit(3, [(1, tup![8])]);
+        let cache = ScanCache::new();
+        let iv = TimeInterval::new(0, 3);
+        let v0 = d.version();
+        let (a, _) = cache
+            .get_or_fetch(TableId(1), iv, v0, || Ok(d.range(iv)))
+            .unwrap();
+        assert_eq!(a.len(), 3);
+        // A rewrite (compaction) bumps the version; the old entry must not
+        // be served, and the refetched rows must replace it.
+        assert_eq!(d.compact_through(3), 2);
+        let v1 = d.version();
+        assert_ne!(v0, v1);
+        let (b, hit) = cache
+            .get_or_fetch(TableId(1), iv, v1, || Ok(d.range(iv)))
+            .unwrap();
+        assert!(!hit, "stale version must miss");
+        assert_eq!(b.len(), 1, "compacted range served after refetch");
+        // The replacement is now the live entry for the new version.
+        let (c, hit) = cache
+            .get_or_fetch(TableId(1), iv, v1, || panic!("must not refetch"))
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&b, &c));
+    }
+
+    #[test]
+    fn compact_merges_sums_counts_and_keeps_min_ts() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![1])]);
+        d.append_commit(2, [(1, tup![1]), (1, tup![2])]);
+        d.append_commit(3, [(-1, tup![2])]);
+        d.append_commit(5, [(1, tup![1])]);
+        // Compact through 3: tup![1] merges (2 rows → 1, min ts 1), tup![2]
+        // nets to zero and vanishes; the ts=5 row is above the LWM.
+        assert_eq!(d.compact_through(3), 3);
+        let rows = d.range(TimeInterval::new(0, 5));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            (rows[0].ts, rows[0].count, &rows[0].tuple),
+            (Some(1), 2, &tup![1])
+        );
+        assert_eq!(rows[1].ts, Some(5));
+        let s = d.compaction_stats();
+        assert_eq!(s.rows_merged, 2, "one fold for tup![1], one for tup![2]");
+        assert_eq!(s.zero_runs_dropped, 1);
+        assert!(s.bytes_reclaimed > 0);
+        assert_eq!(s.rows_removed(), 3);
+    }
+
+    #[test]
+    fn compact_preserves_reconstruction_at_and_above_lwm() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![1]), (1, tup![2])]);
+        d.append_commit(2, [(-1, tup![1])]);
+        d.append_commit(4, [(2, tup![2])]);
+        let want4 = d.reconstruct_at(4).unwrap();
+        assert!(d.compact_through(4) > 0);
+        assert_eq!(d.reconstruct_at(4).unwrap(), want4);
+        assert_eq!(d.compacted_through(), 4);
+        assert_eq!(d.floor(), 4);
+        // Below the LWM timestamps were rewritten: refuse, like pruning.
+        assert!(matches!(
+            d.reconstruct_at(2),
+            Err(Error::HistoryPruned {
+                pruned_through: 4,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn compact_noop_leaves_history_readable() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![1])]);
+        d.append_commit(2, [(1, tup![2])]);
+        let v = d.version();
+        assert_eq!(d.compact_through(2), 0, "distinct tuples: nothing merges");
+        assert_eq!(d.compacted_through(), 0, "floor not raised on a no-op");
+        assert_eq!(d.version(), v, "no rewrite, no invalidation");
+        assert_eq!(d.reconstruct_at(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn recompaction_merges_across_earlier_lwm() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![1])]);
+        d.append_commit(2, [(1, tup![1])]);
+        assert_eq!(d.compact_through(2), 1);
+        d.append_commit(5, [(1, tup![1])]);
+        // The hot key keeps collapsing into the single min-ts row.
+        assert_eq!(d.compact_through(5), 1);
+        let rows = d.range(TimeInterval::new(0, 9));
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].ts, rows[0].count), (Some(1), 3));
+    }
+
+    #[test]
+    fn view_delta_compact_merges_below_apply_position() {
+        let vd = ViewDeltaStore::new(TableId(9));
+        vd.insert(1, 1, tup!["x"]);
+        vd.insert(2, -1, tup!["x"]);
+        vd.insert(2, 1, tup!["y"]);
+        vd.insert(3, 2, tup!["y"]);
+        vd.insert(7, 1, tup!["z"]);
+        let net_all = vd.net_range(TimeInterval::new(0, 7));
+        assert_eq!(vd.compact_through(3), 3, "x nets to zero, y folds to one");
+        assert_eq!(vd.len(), 2);
+        let rows = vd.range(TimeInterval::new(0, 7));
+        assert_eq!(rows[0], DeltaRow::change(2, 3, tup!["y"]), "min ts kept");
+        assert_eq!(vd.net_range(TimeInterval::new(0, 7)), net_all);
+        let s = vd.compaction_stats();
+        assert_eq!((s.rows_merged, s.zero_runs_dropped), (2, 1));
+        assert!(s.bytes_reclaimed > 0);
     }
 
     #[test]

@@ -359,11 +359,15 @@ impl Engine {
             });
         }
         let store = self.delta_store(table)?;
-        if interval.lo < store.pruned_through() {
+        // The floor covers both pruning and φ-compaction: below it rows
+        // were folded away or rewritten to group-minimum timestamps, so a
+        // range starting there would be wrong, not merely incomplete.
+        let floor = store.floor();
+        if interval.lo < floor {
             return Err(Error::HistoryPruned {
                 table,
                 requested: interval.lo,
-                pruned_through: store.pruned_through(),
+                pruned_through: floor,
             });
         }
         Ok(store.range(interval))
@@ -415,6 +419,31 @@ impl Engine {
         Ok(self.delta_store(table)?.prune_through(through))
     }
 
+    /// φ-compact delta history of `table` at or below `lwm`: same-tuple
+    /// records merge (counts summed, minimum timestamp kept) and zero-sum
+    /// groups are dropped. Unlike pruning the range's *net effect* is
+    /// preserved, but timestamps below `lwm` are rewritten, so reads
+    /// starting below it are refused like pruned history. `lwm` must be a
+    /// global low-water mark: at or below the capture HWM, every
+    /// propagation frontier, and the apply position. Returns records
+    /// removed.
+    pub fn compact_delta_history(&self, table: TableId, lwm: Csn) -> Result<usize> {
+        let hwm = self.capture_hwm();
+        if lwm > hwm {
+            return Err(Error::CaptureBehind {
+                table,
+                requested: lwm,
+                hwm,
+            });
+        }
+        Ok(self.delta_store(table)?.compact_through(lwm))
+    }
+
+    /// Lifetime φ-compaction counters of a base table's delta store.
+    pub fn delta_compaction_stats(&self, table: TableId) -> Result<crate::delta::CompactionStats> {
+        Ok(self.delta_store(table)?.compaction_stats())
+    }
+
     /// View-delta range read (no transaction required: used by apply after
     /// it has S-locked the table, and by experiments for inspection).
     pub fn vd_range(&self, table: TableId, interval: TimeInterval) -> Result<Vec<DeltaRow>> {
@@ -456,6 +485,27 @@ impl Engine {
         }
     }
 
+    /// φ-compact view-delta records with timestamp ≤ `t` (the apply
+    /// position): same-tuple records merge at their minimum timestamp and
+    /// zero-sum groups vanish. Net ranges spanning the compacted region
+    /// are unchanged. Returns records removed.
+    pub fn vd_compact(&self, table: TableId, t: Csn) -> Result<usize> {
+        let e = self.entry(table)?;
+        match &e.store {
+            TableStore::ViewDelta(vd) => Ok(vd.compact_through(t)),
+            _ => Err(Error::Invalid(format!("{table} is not a view delta table"))),
+        }
+    }
+
+    /// Lifetime φ-compaction counters of a view delta store.
+    pub fn vd_compaction_stats(&self, table: TableId) -> Result<crate::delta::CompactionStats> {
+        let e = self.entry(table)?;
+        match &e.store {
+            TableStore::ViewDelta(vd) => Ok(vd.compaction_stats()),
+            _ => Err(Error::Invalid(format!("{table} is not a view delta table"))),
+        }
+    }
+
     // ---- non-transactional table inspection (tests/experiments) ----------
 
     /// Row count of a base table (counting multiplicity). Not
@@ -492,6 +542,14 @@ impl Engine {
                 }
                 WalRecord::Delete { txn, table, tuple } => {
                     staged.entry(txn).or_default().push((table, -1, tuple));
+                }
+                WalRecord::Apply {
+                    txn,
+                    table,
+                    count,
+                    tuple,
+                } => {
+                    staged.entry(txn).or_default().push((table, count, tuple));
                 }
                 WalRecord::Commit { txn, .. } => {
                     for (table, count, tuple) in staged.remove(&txn).unwrap_or_default() {
@@ -564,6 +622,15 @@ impl Engine {
                     max_txn = max_txn.max(txn.0);
                     staged.entry(txn).or_default().push((table, -1, tuple));
                 }
+                WalRecord::Apply {
+                    txn,
+                    table,
+                    count,
+                    tuple,
+                } => {
+                    max_txn = max_txn.max(txn.0);
+                    staged.entry(txn).or_default().push((table, count, tuple));
+                }
                 WalRecord::Commit {
                     txn,
                     csn,
@@ -575,11 +642,7 @@ impl Engine {
                     for (table, count, tuple) in staged.remove(&txn).unwrap_or_default() {
                         let e = engine.base_entry(table)?;
                         if let TableStore::Base { table: t, .. } = &e.store {
-                            if count > 0 {
-                                t.lock().insert(tuple)?;
-                            } else {
-                                t.lock().delete_one(&tuple)?;
-                            }
+                            t.lock().apply_count(&tuple, count)?;
                         }
                     }
                 }
@@ -625,6 +688,12 @@ enum UndoOp {
     Insert { table: TableId, tuple: Tuple },
     /// Undo a delete: re-insert one copy.
     Delete { table: TableId, tuple: Tuple },
+    /// Undo a consolidated apply: apply the negated count.
+    Apply {
+        table: TableId,
+        count: i64,
+        tuple: Tuple,
+    },
     /// Undo a view-delta insert.
     Vd { table: TableId, undo: VdUndo },
 }
@@ -853,21 +922,32 @@ impl Txn {
 
     /// Apply a signed count to a base table (the apply process's write
     /// primitive when installing net view deltas into an MV).
+    ///
+    /// Consolidated: one lock acquisition, one WAL [`WalRecord::Apply`]
+    /// record, and one undo entry per `(tuple, count)` — not `|n|` of each
+    /// — so capture also stages a single counted delta row.
     pub fn apply_count(&mut self, table: TableId, tuple: &Tuple, n: i64) -> Result<()> {
-        use std::cmp::Ordering as O;
-        match n.cmp(&0) {
-            O::Greater => {
-                for _ in 0..n {
-                    self.insert(table, tuple.clone())?;
-                }
-            }
-            O::Less => {
-                for _ in 0..-n {
-                    self.delete_one(table, tuple)?;
-                }
-            }
-            O::Equal => {}
+        if n == 0 {
+            return Ok(());
         }
+        self.check_active()?;
+        self.write_lock(table, tuple)?;
+        let entry = self.engine.base_entry(table)?;
+        match &entry.store {
+            TableStore::Base { table: t, .. } => t.lock().apply_count(tuple, n)?,
+            _ => unreachable!(),
+        }
+        self.engine.inner.wal.append(&WalRecord::Apply {
+            txn: self.id,
+            table,
+            count: n,
+            tuple: tuple.clone(),
+        });
+        self.undo.push(UndoOp::Apply {
+            table,
+            count: n,
+            tuple: tuple.clone(),
+        });
         Ok(())
     }
 
@@ -942,6 +1022,19 @@ impl Txn {
                             t.lock()
                                 .insert(tuple)
                                 .expect("undo of delete must re-insert");
+                        }
+                    }
+                }
+                UndoOp::Apply {
+                    table,
+                    count,
+                    tuple,
+                } => {
+                    if let Ok(entry) = self.engine.base_entry(table) {
+                        if let TableStore::Base { table: t, .. } = &entry.store {
+                            t.lock()
+                                .apply_count(&tuple, -count)
+                                .expect("undo of apply must invert cleanly");
                         }
                     }
                 }

@@ -166,14 +166,21 @@ impl BaseTable {
 
     /// Apply a signed count: insert `n` copies (`n > 0`) or delete `-n`
     /// copies (`n < 0`). Used by the apply process when installing view
-    /// deltas into a materialized view.
+    /// deltas into a materialized view. The insert side checks the schema
+    /// and encodes the tuple once for all `n` copies — the per-key bulk
+    /// path `roll_to` relies on.
     pub fn apply_count(&mut self, tuple: &Tuple, n: i64) -> Result<()> {
         use std::cmp::Ordering;
         match n.cmp(&0) {
             Ordering::Greater => {
+                self.schema.check(tuple)?;
+                let enc = codec::encode_tuple(tuple);
+                let mut rids = Vec::with_capacity(n as usize);
                 for _ in 0..n {
-                    self.insert(tuple.clone())?;
+                    rids.push(self.heap.insert(&enc));
+                    self.index_insert(tuple);
                 }
+                self.index.entry(tuple.clone()).or_default().extend(rids);
             }
             Ordering::Less => {
                 let have = self.count_of(tuple) as i64;

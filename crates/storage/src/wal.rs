@@ -57,6 +57,16 @@ pub enum WalRecord {
     },
     /// DDL: a secondary index was created on a base table column.
     CreateIndex { table: TableId, col: u32 },
+    /// `count` copies of one tuple inserted (`count > 0`) or deleted
+    /// (`count < 0`) in a table — the consolidated form `roll_to` emits
+    /// when installing per-key net counts, replacing `|count|` individual
+    /// `Insert`/`Delete` records.
+    Apply {
+        txn: TxnId,
+        table: TableId,
+        count: i64,
+        tuple: Tuple,
+    },
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -66,6 +76,7 @@ const TAG_COMMIT: u8 = 4;
 const TAG_ABORT: u8 = 5;
 const TAG_CREATE_TABLE: u8 = 6;
 const TAG_CREATE_INDEX: u8 = 7;
+const TAG_APPLY: u8 = 8;
 
 fn put_string(buf: &mut Vec<u8>, s: &str) {
     codec::put_varint(buf, s.len() as u64);
@@ -109,7 +120,8 @@ impl WalRecord {
             | WalRecord::Insert { txn, .. }
             | WalRecord::Delete { txn, .. }
             | WalRecord::Commit { txn, .. }
-            | WalRecord::Abort { txn } => *txn,
+            | WalRecord::Abort { txn }
+            | WalRecord::Apply { txn, .. } => *txn,
             WalRecord::CreateTable { .. } | WalRecord::CreateIndex { .. } => TxnId(0),
         }
     }
@@ -168,6 +180,18 @@ impl WalRecord {
                 buf.push(TAG_CREATE_INDEX);
                 codec::put_varint(&mut buf, u64::from(table.0));
                 codec::put_varint(&mut buf, u64::from(*col));
+            }
+            WalRecord::Apply {
+                txn,
+                table,
+                count,
+                tuple,
+            } => {
+                buf.push(TAG_APPLY);
+                codec::put_varint(&mut buf, txn.0);
+                codec::put_varint(&mut buf, u64::from(table.0));
+                codec::put_ivarint(&mut buf, *count);
+                buf.extend_from_slice(&codec::encode_tuple(tuple));
             }
         }
         buf
@@ -233,6 +257,12 @@ impl WalRecord {
             TAG_CREATE_INDEX => WalRecord::CreateIndex {
                 table: TableId(codec::get_varint(buf, &mut pos)? as u32),
                 col: codec::get_varint(buf, &mut pos)? as u32,
+            },
+            TAG_APPLY => WalRecord::Apply {
+                txn: TxnId(codec::get_varint(buf, &mut pos)?),
+                table: TableId(codec::get_varint(buf, &mut pos)? as u32),
+                count: codec::get_ivarint(buf, &mut pos)?,
+                tuple: codec::decode_tuple_at(buf, &mut pos)?,
             },
             t => return Err(Error::WalCorrupt(format!("unknown record tag {t}"))),
         };
@@ -426,6 +456,12 @@ mod tests {
                 wallclock_micros: 1_000_000,
             },
             WalRecord::Abort { txn: TxnId(2) },
+            WalRecord::Apply {
+                txn: TxnId(3),
+                table: TableId(2),
+                count: -4,
+                tuple: tup![3, "c"],
+            },
         ]
     }
 
@@ -442,10 +478,10 @@ mod tests {
         for rec in sample() {
             wal.append(&rec);
         }
-        assert_eq!(wal.len(), 5);
+        assert_eq!(wal.len(), 6);
         assert_eq!(wal.read_from(0).unwrap(), sample());
         assert_eq!(wal.read_from(3).unwrap(), sample()[3..].to_vec());
-        assert_eq!(wal.read_from(5).unwrap(), vec![]);
+        assert_eq!(wal.read_from(6).unwrap(), vec![]);
     }
 
     #[test]
@@ -468,7 +504,7 @@ mod tests {
         // Chop mid-way through the final frame.
         let cut = bytes.len() - 3;
         let recs = Wal::recover(&bytes[..cut]).unwrap();
-        assert_eq!(recs, sample()[..4].to_vec());
+        assert_eq!(recs, sample()[..5].to_vec());
     }
 
     #[test]
