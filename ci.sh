@@ -15,8 +15,14 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== observability smoke (example + self-checker) =="
+cargo run --release --example observe
+
 echo "== benches compile =="
 cargo bench --workspace --no-run
+
+echo "== observability overhead bench =="
+cargo bench -p rolljoin-bench --bench obs_overhead
 
 echo "== docs =="
 cargo doc --no-deps --workspace

@@ -6,6 +6,7 @@ pub mod ablation2;
 pub mod apply_exp;
 pub mod compaction_exp;
 pub mod contention;
+pub mod observe_exp;
 pub mod parallel_exp;
 pub mod refresh;
 pub mod rolling_exp;
@@ -104,6 +105,11 @@ pub fn all() -> Vec<Experiment> {
             "e18",
             "early φ-compaction — policy × Zipf skew × workers",
             compaction_exp::e18,
+        ),
+        (
+            "e19",
+            "observability — ObsConfig tier overhead + artifact audit",
+            observe_exp::e19,
         ),
     ]
 }

@@ -1,0 +1,175 @@
+//! E19 — observability overhead and artifact audit.
+//!
+//! The same churn + rolling-propagation + roll workload runs under each
+//! `ObsConfig` tier. `Off` must price in at a few untaken branches —
+//! within noise of the pre-observability code — while `Metrics` (relaxed
+//! atomics) and `Full` (spans + journal) are allowed a small constant
+//! factor. Under `Full` the run also audits the three artifacts the layer
+//! promises: compensation spans parented into the recursion tree, both
+//! headline gauges at 0 after the quiesced roll, and one journal entry per
+//! rolling step. Results land in `BENCH_obs.json` (EXPERIMENTS.md E19).
+
+use crate::Table;
+use rolljoin_common::{Error, Result};
+use rolljoin_core::{roll_to, ObsConfig, RollingPropagator, UniformInterval};
+use std::time::{Duration, Instant};
+
+/// Seed rows per side (pre-materialization).
+const ROWS: usize = 400;
+const KEY_DOMAIN: i64 = 64;
+/// Mixed single-op churn transactions propagated by the measured phase.
+const CHURN: usize = 400;
+/// Rolling interval length (CSNs) per relation step.
+const DELTA: u64 = 8;
+/// Trials per tier; the median-wall trial is reported.
+const TRIALS: usize = 5;
+
+struct RunOutcome {
+    /// Wall time of the measured phase: drain_to + roll_to.
+    wall: Duration,
+    spans: usize,
+    comp_spans: usize,
+    journal_entries: usize,
+    gauges_zero: bool,
+    verify: String,
+}
+
+fn tier_name(obs: ObsConfig) -> &'static str {
+    match obs {
+        ObsConfig::Off => "off",
+        ObsConfig::Metrics => "metrics",
+        ObsConfig::Full => "full",
+    }
+}
+
+fn run_config(obs: ObsConfig, trial: usize) -> Result<RunOutcome> {
+    let (w, _, mat) =
+        super::loaded_two_way(&format!("e19{}x{trial}", tier_name(obs)), ROWS, KEY_DOMAIN)?;
+    let ctx = w.ctx().with_obs_config(obs);
+    super::churn_two_way(&w, CHURN, 19, KEY_DOMAIN)?;
+    w.engine.capture_catch_up()?;
+
+    let t0 = Instant::now();
+    let mut roller = RollingPropagator::new(ctx.clone(), mat);
+    let mut policy = UniformInterval(DELTA);
+    let hwm = roller.drain_to(w.engine.current_csn(), &mut policy)?;
+    roll_to(&ctx, hwm)?;
+    let wall = t0.elapsed();
+
+    let spans = ctx.obs.spans.finished();
+    let comp_spans = spans
+        .iter()
+        .filter(|s| s.name == "comp" && s.parent != 0)
+        .count();
+    let gauges_zero = if obs.metrics_enabled() {
+        let prom = ctx.prometheus()?;
+        prom.contains("rolljoin_propagation_lag_csn 0\n")
+            && prom.contains("rolljoin_view_staleness_csn 0\n")
+    } else {
+        false
+    };
+    Ok(RunOutcome {
+        wall,
+        spans: spans.len(),
+        comp_spans,
+        journal_entries: ctx.obs.journal.len(),
+        gauges_zero,
+        verify: super::verify_cell(&ctx),
+    })
+}
+
+/// Median-wall trial of one tier.
+fn run_best(obs: ObsConfig) -> Result<RunOutcome> {
+    let mut outs = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS {
+        outs.push(run_config(obs, trial)?);
+    }
+    outs.sort_by_key(|o| o.wall);
+    Ok(outs.swap_remove(TRIALS / 2))
+}
+
+/// E19: ObsConfig tier sweep; emit the results table and `BENCH_obs.json`.
+pub fn e19() -> Result<()> {
+    let mut t = Table::new(&[
+        "obs",
+        "wall",
+        "vs off",
+        "spans",
+        "comp spans",
+        "journal",
+        "gauges→0",
+        "verify",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut base_wall = Duration::ZERO;
+
+    for obs in [ObsConfig::Off, ObsConfig::Metrics, ObsConfig::Full] {
+        let out = run_best(obs)?;
+        if obs == ObsConfig::Off {
+            base_wall = out.wall;
+        }
+        assert_eq!(out.verify, "ok", "oracle mismatch under {obs:?}");
+        if obs == ObsConfig::Full {
+            assert!(out.comp_spans > 0, "Full run must trace compensation");
+            assert!(out.gauges_zero, "gauges must hit 0 after quiesced roll");
+            assert!(out.journal_entries > 0, "Full run must journal steps");
+        }
+        let ratio = out.wall.as_secs_f64() / base_wall.as_secs_f64().max(1e-9);
+        t.row(vec![
+            tier_name(obs).to_string(),
+            format!("{:.2} ms", out.wall.as_secs_f64() * 1e3),
+            format!("{:.2}x", ratio),
+            out.spans.to_string(),
+            out.comp_spans.to_string(),
+            out.journal_entries.to_string(),
+            if obs.metrics_enabled() {
+                out.gauges_zero.to_string()
+            } else {
+                "-".to_string()
+            },
+            out.verify.clone(),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"obs\": \"{}\", \"wall_ms\": {:.3}, \"wall_vs_off\": {:.3}, ",
+                "\"overhead_pct\": {:.1}, \"spans\": {}, \"comp_spans\": {}, ",
+                "\"journal_entries\": {}, \"gauges_zero\": {}, \"oracle\": \"{}\"}}"
+            ),
+            tier_name(obs),
+            out.wall.as_secs_f64() * 1e3,
+            ratio,
+            (ratio - 1.0) * 100.0,
+            out.spans,
+            out.comp_spans,
+            out.journal_entries,
+            out.gauges_zero,
+            out.verify,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"e19\",\n",
+            "  \"description\": \"observability tier sweep on a two-way join: {} churn txns ",
+            "rolled in delta={} intervals then drained and applied; wall is the ",
+            "drain_to+roll_to phase, median of {} trials\",\n",
+            "  \"rows_per_side\": {}, \"key_domain\": {},\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        CHURN,
+        DELTA,
+        TRIALS,
+        ROWS,
+        KEY_DOMAIN,
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_obs.json", json)
+        .map_err(|e| Error::Internal(format!("writing BENCH_obs.json: {e}")))?;
+
+    t.print(&format!(
+        "E19: observability overhead ({CHURN} churn txns, rolling delta={DELTA}, \
+         median of {TRIALS} trials); wall ratios are vs ObsConfig::Off"
+    ));
+    println!("  [wrote BENCH_obs.json]");
+    Ok(())
+}

@@ -12,8 +12,10 @@
 use crate::execute::MaintCtx;
 use crate::policy::CompactionPolicy;
 use rolljoin_common::{Csn, Error, Result, TimeInterval};
+use rolljoin_obs::JournalEntry;
 use rolljoin_relalg::{exec, fetch, SlotSource};
 use rolljoin_storage::LockMode;
+use std::time::Instant;
 
 /// Outcome of a point-in-time refresh.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +63,7 @@ pub fn materialize(ctx: &MaintCtx) -> Result<Csn> {
     let csn = txn.commit()?;
     ctx.mv.set_mat_time(csn);
     ctx.mv.set_hwm(csn);
+    ctx.refresh_gauges();
     Ok(csn)
 }
 
@@ -93,6 +96,10 @@ pub fn roll_to(ctx: &MaintCtx, target: Csn) -> Result<ApplyOutcome> {
         });
     }
 
+    let started = Instant::now();
+    let mut span = ctx.obs.span("roll_to");
+    span.arg("lo", mat as i64);
+    span.arg("hi", target as i64);
     let mut txn = ctx.engine.begin();
     // S-lock the VD table so we don't interleave with an in-flight
     // propagation transaction, then X-lock the MV.
@@ -113,13 +120,34 @@ pub fn roll_to(ctx: &MaintCtx, target: Csn) -> Result<ApplyOutcome> {
         txn.apply_count(ctx.mv.mv_table, &tuple, count)?;
     }
     ctx.mv.persist_mat_time(&mut txn, &ctx.engine, target)?;
-    txn.commit()?;
+    // Publish the new materialization time while the MV X lock is still
+    // held (commit releases it): a reader that S-locks the MV and then
+    // reads `mat_time` must never see the new contents with the old time.
     ctx.mv.set_mat_time(target);
+    if let Err(e) = txn.commit() {
+        ctx.mv.set_mat_time(mat);
+        return Err(e);
+    }
     // Everything at or below the new apply position has been installed;
     // under a compaction policy, fold that history down to one record per
     // tuple so the next roll's σ_{target, t'} scan walks net churn.
     if ctx.tuning.compaction != CompactionPolicy::Off {
         ctx.engine.vd_compact(ctx.mv.vd_table, target)?;
+    }
+    span.arg("tuples_changed", tuples_changed as i64);
+    drop(span);
+    if ctx.obs.tracing_on() {
+        ctx.obs.journal_step(
+            JournalEntry::new("apply")
+                .with_interval(mat, target)
+                .with_rows(0, tuples_changed as u64)
+                .with_duration_ns(started.elapsed().as_nanos() as u64)
+                .with_hwm(target),
+        );
+    }
+    if ctx.obs.metrics_on() {
+        ctx.meters.record_step(&ctx.obs.meter, "apply", false);
+        ctx.refresh_gauges();
     }
     Ok(ApplyOutcome {
         rolled_to: target,
@@ -189,5 +217,6 @@ pub fn full_refresh(ctx: &MaintCtx) -> Result<Csn> {
     // View-delta records at or below the new materialization time are now
     // stale; drop them so a later roll cannot double-apply.
     ctx.engine.vd_prune(ctx.mv.vd_table, csn)?;
+    ctx.refresh_gauges();
     Ok(csn)
 }

@@ -29,7 +29,7 @@
 //! the paper's prototype stores the equivalent progress in its control
 //! tables.
 
-use crate::execute::MaintCtx;
+use crate::execute::{MaintCtx, QuerySpanCtx};
 use crate::query::PropQuery;
 use rolljoin_common::{Csn, Result, TimeInterval};
 use std::collections::VecDeque;
@@ -45,6 +45,11 @@ pub struct Frame {
     pub tau: Vec<Csn>,
     pub t_new: Csn,
     next_slot: usize,
+    /// Span id of the query (or step) that caused this activation — the
+    /// parent of every query span the frame issues. `0` = root.
+    parent: u64,
+    /// Recursion depth in the compensation tree.
+    depth: u32,
 }
 
 /// One fully-substituted constituent query, ready to execute as its own
@@ -61,6 +66,22 @@ struct Unit {
     /// `ComputeDelta(q, −sign, comp_tau, t_exec)` is scheduled. `None` for
     /// all-delta queries, which need no compensation.
     comp_tau: Option<Vec<Csn>>,
+    /// Parent span id for this unit's query span.
+    parent: u64,
+    /// Recursion depth in the compensation tree.
+    depth: u32,
+    /// The slot whose delta this unit newly introduced.
+    rel: usize,
+}
+
+impl Unit {
+    fn span_ctx(&self) -> QuerySpanCtx {
+        QuerySpanCtx {
+            parent: self.parent,
+            depth: self.depth,
+            rel: Some(self.rel),
+        }
+    }
 }
 
 /// An item of outstanding propagation work: either a frame still to be
@@ -95,6 +116,21 @@ impl DeltaWorker {
 
     /// Schedule `ComputeDelta(q, tau, t_new)` scaled by `sign`.
     pub fn enqueue(&mut self, q: PropQuery, sign: i64, tau: Vec<Csn>, t_new: Csn) {
+        self.enqueue_under(q, sign, tau, t_new, 0, 0);
+    }
+
+    /// [`DeltaWorker::enqueue`] with an explicit span parent and recursion
+    /// depth, so the scheduled computation's query spans nest under the
+    /// step or query that caused it.
+    pub fn enqueue_under(
+        &mut self,
+        q: PropQuery,
+        sign: i64,
+        tau: Vec<Csn>,
+        t_new: Csn,
+        parent: u64,
+        depth: u32,
+    ) {
         debug_assert_eq!(q.n(), tau.len());
         self.queue.push_back(Work::Expand(Frame {
             q,
@@ -102,6 +138,8 @@ impl DeltaWorker {
             tau,
             t_new,
             next_slot: 0,
+            parent,
+            depth,
         }));
     }
 
@@ -128,8 +166,10 @@ impl DeltaWorker {
                         return Err(e);
                     }
                 }
-                Work::Exec(unit) => match ctx.execute(&unit.q, unit.sign) {
-                    Ok(outcome) => self.push_compensation(&unit, outcome.exec_csn),
+                Work::Exec(unit) => match ctx.execute_traced(&unit.q, unit.sign, unit.span_ctx()) {
+                    Ok((outcome, span_id)) => {
+                        self.push_compensation(&unit, outcome.exec_csn, span_id)
+                    }
                     Err(e) => {
                         self.queue.push_front(Work::Exec(unit));
                         return Err(e);
@@ -197,7 +237,7 @@ impl DeltaWorker {
             let mut requeue = Vec::new();
             for (unit, res) in units.into_iter().zip(results) {
                 match res {
-                    Ok(exec_csn) => self.push_compensation(&unit, exec_csn),
+                    Ok((exec_csn, span_id)) => self.push_compensation(&unit, exec_csn, span_id),
                     Err(e) => {
                         requeue.push(Work::Exec(unit));
                         if first_err.is_none() {
@@ -215,8 +255,10 @@ impl DeltaWorker {
         }
     }
 
-    /// Schedule the compensation frame of an executed unit, if it needs one.
-    fn push_compensation(&mut self, unit: &Unit, exec_csn: Csn) {
+    /// Schedule the compensation frame of an executed unit, if it needs
+    /// one. The frame's spans nest under the executed query's span
+    /// (`span_id`), one level deeper.
+    fn push_compensation(&mut self, unit: &Unit, exec_csn: Csn, span_id: u64) {
         if let Some(tau) = &unit.comp_tau {
             self.queue.push_back(Work::Expand(Frame {
                 q: unit.q.clone(),
@@ -224,6 +266,8 @@ impl DeltaWorker {
                 tau: tau.clone(),
                 t_new: exec_csn,
                 next_slot: 0,
+                parent: span_id,
+                depth: unit.depth + 1,
             }));
         }
     }
@@ -247,7 +291,12 @@ impl DeltaWorker {
             }
             // Q' ← Q[1]…Q[i−1] R^i_{τ_old[i], t_new} Q[i+1]…Q[n]
             let q2 = frame.q.with_delta(i, interval);
-            let outcome = ctx.execute(&q2, frame.sign)?;
+            let sctx = QuerySpanCtx {
+                parent: frame.parent,
+                depth: frame.depth,
+                rel: Some(i),
+            };
+            let (outcome, span_id) = ctx.execute_traced(&q2, frame.sign, sctx)?;
             frame.next_slot += 1;
             if q2.slots.iter().any(|s| !s.is_delta()) {
                 // Tables left of i were intended at τ_old, right of i at
@@ -266,6 +315,8 @@ impl DeltaWorker {
                     tau: tau_intended,
                     t_new: outcome.exec_csn,
                     next_slot: 0,
+                    parent: span_id,
+                    depth: frame.depth + 1,
                 }));
             }
         }
@@ -309,18 +360,22 @@ fn expand(ctx: &MaintCtx, frame: &Frame) -> Result<Vec<Unit>> {
             q: q2,
             sign: frame.sign,
             comp_tau,
+            parent: frame.parent,
+            depth: frame.depth,
+            rel: i,
         });
     }
     Ok(units)
 }
 
 /// Execute `units` across a pool of `workers` threads. Returns one result
-/// per unit, in unit order. Workers pull from a shared channel (work
-/// stealing by contention); each records its busy time.
-fn execute_units(ctx: &MaintCtx, units: &[Unit], workers: usize) -> Vec<Result<Csn>> {
+/// per unit — the commit CSN plus the query's span id — in unit order.
+/// Workers pull from a shared channel (work stealing by contention); each
+/// records its busy time.
+fn execute_units(ctx: &MaintCtx, units: &[Unit], workers: usize) -> Vec<Result<(Csn, u64)>> {
     let workers = workers.min(units.len()).max(1);
     let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, &Unit)>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Result<Csn>)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Result<(Csn, u64)>)>();
     for item in units.iter().enumerate() {
         work_tx.send(item).expect("receiver alive");
     }
@@ -333,7 +388,9 @@ fn execute_units(ctx: &MaintCtx, units: &[Unit], workers: usize) -> Vec<Result<C
                 let mut busy = 0u64;
                 while let Ok((i, unit)) = work_rx.recv() {
                     let start = Instant::now();
-                    let res = ctx.execute(&unit.q, unit.sign).map(|o| o.exec_csn);
+                    let res = ctx
+                        .execute_traced(&unit.q, unit.sign, unit.span_ctx())
+                        .map(|(o, span_id)| (o.exec_csn, span_id));
                     busy += start.elapsed().as_nanos() as u64;
                     if res_tx.send((i, res)).is_err() {
                         break;
@@ -344,7 +401,7 @@ fn execute_units(ctx: &MaintCtx, units: &[Unit], workers: usize) -> Vec<Result<C
         }
     });
     drop(res_tx);
-    let mut results: Vec<Option<Result<Csn>>> = units.iter().map(|_| None).collect();
+    let mut results: Vec<Option<Result<(Csn, u64)>>> = units.iter().map(|_| None).collect();
     for (i, res) in res_rx.iter() {
         results[i] = Some(res);
     }

@@ -15,14 +15,32 @@
 //! a background capture driver.
 
 use crate::control::MaterializedView;
+use crate::metering::CoreMeters;
 use crate::policy::{CompactionPolicy, ExecTuning};
 use crate::query::{PropQuery, Slot};
 use crate::stats::{CompactionReport, PropStats};
 use rolljoin_common::{Csn, Error, Result};
+use rolljoin_obs::{JournalEntry, Obs, ObsConfig};
 use rolljoin_relalg::{exec, fetch, fetch_cached, BuildCache, SlotInput, SlotSource};
 use rolljoin_storage::{Engine, LockMode, ScanCache};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Span context for one propagation query: where it sits in the
+/// `ComputeDelta` recursion tree. Passed by the propagation drivers to
+/// [`MaintCtx::execute_traced`] so every query span can be parented under
+/// the span that caused it — even across worker threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuerySpanCtx {
+    /// Span id of the causing span (`0` = parent from the thread-local
+    /// span stack, or root).
+    pub parent: u64,
+    /// Recursion depth in the compensation tree (`0` = issued directly by
+    /// the propagation loop).
+    pub depth: u32,
+    /// The view slot whose delta this query newly introduced, when known.
+    pub rel: Option<usize>,
+}
 
 /// How maintenance waits for the capture high-water mark to reach a CSN.
 #[derive(Debug, Clone, Copy, Default)]
@@ -69,11 +87,18 @@ pub struct MaintCtx {
     pub scan_cache: Arc<ScanCache>,
     /// Step-scoped cache of hash-join build sides over shared delta ranges.
     pub build_cache: Arc<BuildCache>,
+    /// Observability handle (spans, metrics, journal), at the level set by
+    /// `tuning.obs`. Shared across clones, workers, and drivers.
+    pub obs: Arc<Obs>,
+    /// Cached metric handles for the hot execute path.
+    pub meters: Arc<CoreMeters>,
 }
 
 impl MaintCtx {
     /// Build a context with inline capture.
     pub fn new(engine: Engine, mv: Arc<MaterializedView>) -> Self {
+        let obs = Obs::disabled();
+        let meters = Arc::new(CoreMeters::new(&obs.meter));
         MaintCtx {
             engine,
             mv,
@@ -83,6 +108,8 @@ impl MaintCtx {
             tuning: ExecTuning::default(),
             scan_cache: Arc::new(ScanCache::new()),
             build_cache: Arc::new(BuildCache::new()),
+            obs,
+            meters,
         }
     }
 
@@ -100,10 +127,23 @@ impl MaintCtx {
 
     /// Replace the executor tuning. The lock granularity in the tuning is
     /// applied to the shared engine — set it before concurrent activity.
+    /// A changed `tuning.obs` level rebuilds the observability handle, so
+    /// set it before handing clones to drivers or workers.
     pub fn with_tuning(mut self, tuning: ExecTuning) -> Self {
+        if tuning.obs != self.tuning.obs {
+            self.obs = Obs::new(tuning.obs);
+            self.meters = Arc::new(CoreMeters::new(&self.obs.meter));
+        }
         self.tuning = tuning;
         self.engine.set_lock_granularity(tuning.lock_granularity);
         self
+    }
+
+    /// Set the observability level (rebuilds the handle — set it before
+    /// concurrent activity starts).
+    pub fn with_obs_config(self, config: ObsConfig) -> Self {
+        let tuning = self.tuning.with_obs(config);
+        self.with_tuning(tuning)
     }
 
     /// Set the parallel-executor worker count.
@@ -143,6 +183,8 @@ impl MaintCtx {
     /// position. A [`CompactionPolicy::Background`] threshold skips stores
     /// holding fewer records. Returns total records removed.
     pub fn compact_stores(&self) -> Result<usize> {
+        let started = Instant::now();
+        let mut span = self.obs.span("compaction_pass");
         let threshold = self.tuning.compaction.background_threshold().unwrap_or(0);
         let lwm = self.compaction_lwm().min(self.engine.capture_hwm());
         let mut removed = 0usize;
@@ -158,6 +200,16 @@ impl MaintCtx {
             removed += self
                 .engine
                 .vd_compact(self.mv.vd_table, self.mv.mat_time())?;
+        }
+        span.arg("removed", removed as i64);
+        span.arg("lwm", lwm as i64);
+        if self.obs.tracing_on() && removed > 0 {
+            self.obs.journal_step(
+                JournalEntry::new("compaction")
+                    .with_rows(0, removed as u64)
+                    .with_duration_ns(started.elapsed().as_nanos() as u64)
+                    .with_hwm(lwm),
+            );
         }
         Ok(removed)
     }
@@ -249,6 +301,13 @@ impl MaintCtx {
                 let (input, hit, raw) =
                     fetch_cached(&self.engine, txn, &source, &self.scan_cache, compact)?;
                 self.stats.record_scan_cache(hit, input.len() as u64);
+                if self.obs.metrics_on() {
+                    if hit {
+                        self.meters.scan_cache_hits.inc(1);
+                    } else {
+                        self.meters.scan_cache_misses.inc(1);
+                    }
+                }
                 if compact && !hit {
                     self.stats
                         .record_scan_compaction(raw as u64, input.len() as u64);
@@ -328,13 +387,51 @@ impl MaintCtx {
     /// insert its results into the view delta table. `sign` scales counts
     /// (−1 for compensation).
     pub fn execute(&self, q: &PropQuery, sign: i64) -> Result<ExecOutcome> {
+        self.execute_traced(q, sign, QuerySpanCtx::default())
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`MaintCtx::execute`] with span context: records one span per
+    /// query (named `forward` or `comp`, tagged with relation, interval,
+    /// recursion depth, and row counts) and returns its id so the caller
+    /// can parent the query's compensation subtree under it. The id is
+    /// `0` unless tracing is on.
+    pub fn execute_traced(
+        &self,
+        q: &PropQuery,
+        sign: i64,
+        sctx: QuerySpanCtx,
+    ) -> Result<(ExecOutcome, u64)> {
         let view = &self.mv.view;
         debug_assert_eq!(q.n(), view.n());
         let hi = q.max_delta_hi().ok_or_else(|| {
             Error::Invalid("propagation queries must contain a delta slot".into())
         })?;
+        let is_forward = q.is_forward() && sign == 1;
+        let mut qspan = if sctx.parent != 0 {
+            self.obs
+                .span_under(if is_forward { "forward" } else { "comp" }, sctx.parent)
+        } else {
+            self.obs.span(if is_forward { "forward" } else { "comp" })
+        };
+        let span_id = qspan.id();
+        if !qspan.is_noop() {
+            qspan.label(q.to_string());
+            qspan.arg("depth", sctx.depth as i64);
+            qspan.arg("sign", sign);
+            if let Some(rel) = sctx.rel {
+                qspan.arg("rel", rel as i64);
+                if let Slot::Delta(iv) = q.slots[rel] {
+                    qspan.arg("lo", iv.lo as i64);
+                    qspan.arg("hi", iv.hi as i64);
+                }
+            }
+        }
         let wall_start = Instant::now();
-        self.ensure_captured(hi)?;
+        {
+            let _s = self.obs.span("capture_wait");
+            self.ensure_captured(hi)?;
+        }
         // Step-scope the caches: the propagation HWM only advances when a
         // step completes, so entries live exactly for the step that
         // materialized them and are dropped when the frontier moves past
@@ -378,10 +475,15 @@ impl MaintCtx {
             }
         }
 
-        let slot_rows = self.fetch_slots(&mut txn, q)?;
+        let slot_rows = {
+            let _s = self.obs.span("fetch");
+            self.fetch_slots(&mut txn, q)?
+        };
 
-        let (rows, stats) =
-            exec::execute_shared(slot_rows, &view.spec, sign, Some(&self.build_cache))?;
+        let (rows, stats) = {
+            let _s = self.obs.span("join");
+            exec::execute_shared(slot_rows, &view.spec, sign, Some(&self.build_cache))?
+        };
         let mut written = 0u64;
         for row in rows {
             let ts = row.ts.ok_or_else(|| {
@@ -393,9 +495,12 @@ impl MaintCtx {
             }
         }
         let lock_wait = txn.lock_wait();
-        let exec_csn = txn.commit()?;
-        self.stats
-            .record_query_wall(wall_start.elapsed().as_nanos() as u64);
+        let exec_csn = {
+            let _s = self.obs.span("commit");
+            txn.commit()?
+        };
+        let wall = wall_start.elapsed();
+        self.stats.record_query_wall(wall.as_nanos() as u64);
         self.stats.record_lock_wait(lock_wait.as_nanos() as u64);
 
         let (mut base_rows, mut delta_rows) = (0u64, 0u64);
@@ -406,9 +511,75 @@ impl MaintCtx {
             }
         }
         self.stats
-            .record_query(q.is_forward() && sign == 1, base_rows, delta_rows, written);
+            .record_query(is_forward, base_rows, delta_rows, written);
 
-        Ok(ExecOutcome { exec_csn, stats })
+        if self.obs.metrics_on() {
+            let m = &self.meters;
+            if is_forward {
+                m.forward_queries.inc(1);
+            } else {
+                m.comp_queries.inc(1);
+            }
+            m.base_rows_read.inc(base_rows);
+            m.delta_rows_read.inc(delta_rows);
+            m.vd_rows_written.inc(written);
+            m.query_wall_us.observe(wall.as_micros() as u64);
+            m.query_lock_wait_us.observe(lock_wait.as_micros() as u64);
+            self.refresh_gauges();
+        }
+        if !qspan.is_noop() {
+            qspan.arg("rows_read", (base_rows + delta_rows) as i64);
+            qspan.arg("rows_out", written as i64);
+            qspan.arg("lock_wait_us", lock_wait.as_micros() as i64);
+            qspan.arg("csn", exec_csn as i64);
+        }
+
+        Ok((ExecOutcome { exec_csn, stats }, span_id))
+    }
+
+    /// Recompute the lag gauges from the current frontiers:
+    /// `propagation_lag = capture_hwm − prop_hwm` and
+    /// `view_staleness = capture_hwm − mat_time` (saturating — apply and
+    /// propagation commits themselves advance the engine clock past the
+    /// capture HWM, so the raw differences can transiently run negative).
+    /// No-op unless metrics are on.
+    pub fn refresh_gauges(&self) {
+        if !self.obs.metrics_on() {
+            return;
+        }
+        let capture = self.engine.capture_hwm();
+        let hwm = self.mv.hwm();
+        let mat = self.mv.mat_time();
+        let m = &self.meters;
+        m.capture_hwm.set(capture as i64);
+        m.prop_hwm.set(hwm as i64);
+        m.mat_time.set(mat as i64);
+        m.propagation_lag.set(capture.saturating_sub(hwm) as i64);
+        m.view_staleness.set(capture.saturating_sub(mat) as i64);
+    }
+
+    /// Fold the cold-path sources into the metrics registry — the lock
+    /// manager's per-granularity stats, store-level compaction totals,
+    /// scan-level compaction counters — and refresh the lag gauges.
+    /// Call before exporting; [`MaintCtx::prometheus`] does.
+    pub fn observe_now(&self) -> Result<()> {
+        if !self.obs.metrics_on() {
+            return Ok(());
+        }
+        self.refresh_gauges();
+        let m = &self.meters;
+        let meter = &self.obs.meter;
+        m.fold_lock_stats(meter, &self.engine.locks().stats().snapshot_full());
+        m.fold_compaction(meter, &self.compaction_report()?);
+        m.fold_prop_stats(meter, &self.stats.snapshot());
+        Ok(())
+    }
+
+    /// Fold everything current and export the registry in Prometheus text
+    /// format.
+    pub fn prometheus(&self) -> Result<String> {
+        self.observe_now()?;
+        Ok(self.obs.meter.prometheus())
     }
 }
 

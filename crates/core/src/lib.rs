@@ -28,6 +28,7 @@ pub mod compute_delta;
 pub mod control;
 pub mod driver;
 pub mod execute;
+pub mod metering;
 pub mod oracle;
 pub mod policy;
 pub mod propagate;
@@ -46,7 +47,8 @@ pub use driver::{
     spawn_apply_driver, spawn_capture_driver, spawn_compaction_driver, spawn_rolling_driver,
     DriverHandle,
 };
-pub use execute::{CaptureWait, ExecOutcome, MaintCtx};
+pub use execute::{CaptureWait, ExecOutcome, MaintCtx, QuerySpanCtx};
+pub use metering::CoreMeters;
 pub use policy::{
     CompactionPolicy, ExecTuning, FullWidth, IntervalPolicy, LatencyBudget, PerRelationInterval,
     TargetRows, UniformInterval,
@@ -54,6 +56,7 @@ pub use policy::{
 pub use propagate::Propagator;
 pub use query::{PropQuery, Slot};
 pub use rolling::{CompensationMode, RollingPropagator, RollingStep};
+pub use rolljoin_obs::{Journal, JournalEntry, Meter, Obs, ObsConfig, SpanRecorder};
 pub use stats::{
     format_lock_breakdown, CompactionReport, CompactionStats, GranStatsSnapshot, LockStatsSnapshot,
     PropStats, PropStatsSnapshot,

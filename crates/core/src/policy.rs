@@ -73,6 +73,12 @@ pub struct ExecTuning {
     /// `Off` is the seed behavior: every raw change record flows through
     /// every join.
     pub compaction: CompactionPolicy,
+    /// How much observability the maintenance paths record: `Off` (the
+    /// default — instrumented paths reduce to a few atomic loads),
+    /// `Metrics` (counters/gauges/histograms), or `Full` (metrics plus
+    /// span tracing and the propagation journal). Applied to the context
+    /// by [`MaintCtx::with_tuning`].
+    pub obs: rolljoin_obs::ObsConfig,
 }
 
 impl Default for ExecTuning {
@@ -85,6 +91,7 @@ impl Default for ExecTuning {
             probe_scan_ratio: 4,
             lock_granularity: LockGranularity::Table,
             compaction: CompactionPolicy::Off,
+            obs: rolljoin_obs::ObsConfig::Off,
         }
     }
 }
@@ -119,6 +126,12 @@ impl ExecTuning {
     /// Set the φ-compaction policy.
     pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
         self.compaction = policy;
+        self
+    }
+
+    /// Set the observability level.
+    pub fn with_obs(mut self, obs: rolljoin_obs::ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -293,6 +306,13 @@ mod tests {
                 .compaction
                 .background_threshold(),
             Some(512)
+        );
+        assert_eq!(t.obs, rolljoin_obs::ObsConfig::Off);
+        assert_eq!(
+            ExecTuning::sequential()
+                .with_obs(rolljoin_obs::ObsConfig::Full)
+                .obs,
+            rolljoin_obs::ObsConfig::Full
         );
     }
 

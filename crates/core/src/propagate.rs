@@ -20,6 +20,8 @@ use crate::compute_delta::DeltaWorker;
 use crate::execute::MaintCtx;
 use crate::query::PropQuery;
 use rolljoin_common::{Csn, Error, Result};
+use rolljoin_obs::JournalEntry;
+use std::time::Instant;
 
 /// The `Propagate` process state.
 pub struct Propagator {
@@ -71,12 +73,43 @@ impl Propagator {
             return Err(Error::Invalid("propagation interval must be > 0".into()));
         }
         self.finish_pending()?;
+        let started = Instant::now();
+        let stats0 = self.ctx.stats.snapshot();
+        let from = self.t_cur;
         let target = self.t_cur + delta;
         let n = self.ctx.mv.n();
-        self.worker
-            .enqueue(PropQuery::all_base(n), 1, vec![self.t_cur; n], target);
+        let obs = self.ctx.obs.clone();
+        let mut span = obs.span("propagate_step");
+        span.arg("lo", from as i64);
+        span.arg("hi", target as i64);
+        self.worker.enqueue_under(
+            PropQuery::all_base(n),
+            1,
+            vec![self.t_cur; n],
+            target,
+            span.id(),
+            0,
+        );
         self.pending_target = Some(target);
         self.finish_pending()?;
+        drop(span);
+        if self.ctx.obs.tracing_on() {
+            let d = self.ctx.stats.snapshot().since(&stats0);
+            self.ctx.obs.journal_step(
+                JournalEntry::new("propagate")
+                    .with_interval(from, target)
+                    .with_queries(d.total_queries(), d.comp_queries)
+                    .with_rows(d.total_rows_read(), d.vd_rows_written)
+                    .with_duration_ns(started.elapsed().as_nanos() as u64)
+                    .with_hwm(self.t_cur),
+            );
+        }
+        if self.ctx.obs.metrics_on() {
+            self.ctx
+                .meters
+                .record_step(&self.ctx.obs.meter, "propagate", false);
+            self.ctx.refresh_gauges();
+        }
         Ok(self.t_cur)
     }
 

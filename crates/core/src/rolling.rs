@@ -48,11 +48,14 @@
 //! preserved, and the HWM is simply `min_i tfwd[i]`.
 
 use crate::compute_delta::DeltaWorker;
-use crate::execute::MaintCtx;
+use crate::execute::{MaintCtx, QuerySpanCtx};
 use crate::policy::IntervalPolicy;
 use crate::query::PropQuery;
+use crate::stats::PropStatsSnapshot;
 use rolljoin_common::{Csn, Error, Result, TimeInterval};
+use rolljoin_obs::JournalEntry;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// A recorded forward query awaiting compensation.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +95,12 @@ struct PendingStep {
     rem: u64,
     /// Width of the segment currently enqueued in the worker.
     seg: Option<u64>,
+    /// Span id of the forward query — parent of the compensation spans.
+    span: u64,
+    /// Stats at step start, for the journal's per-step query/row counts.
+    stats0: PropStatsSnapshot,
+    /// Wall clock at step start.
+    started: Instant,
 }
 
 /// How a forward query's overlap with other relations is compensated.
@@ -250,7 +259,7 @@ impl RollingPropagator {
                 })
                 .collect();
             let cq = PropQuery::all_base(n).with_delta(p.rel, TimeInterval::new(p.t_s, p.t_s + d2));
-            self.worker.enqueue(cq, -1, tau, p.t_e);
+            self.worker.enqueue_under(cq, -1, tau, p.t_e, p.span, 1);
             p.seg = Some(d2);
             self.pending = Some(p);
         }
@@ -258,6 +267,24 @@ impl RollingPropagator {
         self.pending = None;
         let hwm = self.hwm();
         self.ctx.mv.set_hwm(hwm);
+        if self.ctx.obs.tracing_on() {
+            let d = self.ctx.stats.snapshot().since(&p.stats0);
+            self.ctx.obs.journal_step(
+                JournalEntry::new("rolling")
+                    .with_relation(p.rel)
+                    .with_interval(p.t_hi - p.width, p.t_hi)
+                    .with_queries(d.total_queries(), d.comp_queries)
+                    .with_rows(d.total_rows_read(), d.vd_rows_written)
+                    .with_duration_ns(p.started.elapsed().as_nanos() as u64)
+                    .with_hwm(hwm),
+            );
+        }
+        if self.ctx.obs.metrics_on() {
+            self.ctx
+                .meters
+                .record_step(&self.ctx.obs.meter, "rolling", false);
+            self.ctx.refresh_gauges();
+        }
         Ok(Some(RollingStep {
             relation: p.rel,
             width: p.width,
@@ -284,6 +311,18 @@ impl RollingPropagator {
         let t_s0 = self.tfwd[i];
         let t_hi = t_s0 + delta;
         let interval = TimeInterval::new(t_s0, t_hi);
+        let started = Instant::now();
+        let stats0 = self.ctx.stats.snapshot();
+        let obs = self.ctx.obs.clone();
+        let mut step_span = obs.span("rolling_step");
+        step_span.arg("rel", i as i64);
+        step_span.arg("lo", t_s0 as i64);
+        step_span.arg("hi", t_hi as i64);
+        if self.ctx.obs.metrics_on() {
+            self.ctx
+                .meters
+                .record_interval_width(&self.ctx.obs.meter, i, delta);
+        }
         self.ctx.ensure_captured(t_hi)?;
         self.prune_query_lists();
 
@@ -302,6 +341,23 @@ impl RollingPropagator {
             self.tfwd[i] = t_hi;
             let hwm = self.hwm();
             self.ctx.mv.set_hwm(hwm);
+            step_span.arg("skipped_empty", 1);
+            if self.ctx.obs.tracing_on() {
+                self.ctx.obs.journal_step(
+                    JournalEntry::new("rolling")
+                        .with_relation(i)
+                        .with_interval(t_s0, t_hi)
+                        .with_skipped_empty(true)
+                        .with_duration_ns(started.elapsed().as_nanos() as u64)
+                        .with_hwm(hwm),
+                );
+            }
+            if self.ctx.obs.metrics_on() {
+                self.ctx
+                    .meters
+                    .record_step(&self.ctx.obs.meter, "rolling", true);
+                self.ctx.refresh_gauges();
+            }
             return Ok(RollingStep {
                 relation: i,
                 width: delta,
@@ -313,7 +369,12 @@ impl RollingPropagator {
         // The forward query is a single transaction: a failure here leaves
         // no durable state, so the caller can simply retry the step.
         let fq = PropQuery::all_base(n).with_delta(i, interval);
-        let outcome = self.ctx.execute(&fq, 1)?;
+        let fctx = QuerySpanCtx {
+            parent: step_span.id(),
+            depth: 0,
+            rel: Some(i),
+        };
+        let (outcome, fwd_span) = self.ctx.execute_traced(&fq, 1, fctx)?;
         let t_e = outcome.exec_csn;
 
         match self.mode {
@@ -333,6 +394,9 @@ impl RollingPropagator {
                     t_s: t_s0,
                     rem: if i > 0 { delta } else { 0 },
                     seg: None,
+                    span: fwd_span,
+                    stats0,
+                    started,
                 });
             }
             CompensationMode::ImmediateBox => {
@@ -342,7 +406,7 @@ impl RollingPropagator {
                 let tau: Vec<Csn> = (0..n)
                     .map(|j| if j == i { 0 } else { self.tfwd[j] })
                     .collect();
-                self.worker.enqueue(fq, -1, tau, t_e);
+                self.worker.enqueue_under(fq, -1, tau, t_e, fwd_span, 1);
                 self.pending = Some(PendingStep {
                     rel: i,
                     width: delta,
@@ -351,6 +415,9 @@ impl RollingPropagator {
                     t_s: t_s0,
                     rem: 0,
                     seg: None,
+                    span: fwd_span,
+                    stats0,
+                    started,
                 });
             }
         }
@@ -376,6 +443,7 @@ impl RollingPropagator {
             // even while idle.
             self.prune_query_lists();
             self.ctx.mv.set_hwm(self.hwm());
+            self.ctx.refresh_gauges();
             return Ok(None);
         }
         let from = self.tfwd[i];
@@ -457,6 +525,7 @@ impl RollingPropagator {
             self.prune_query_lists();
         }
         self.ctx.mv.set_hwm(self.hwm());
+        self.ctx.refresh_gauges();
         Ok(self.hwm())
     }
 }

@@ -197,24 +197,37 @@ impl PropStatsSnapshot {
         }
     }
 
-    /// Difference of two snapshots (self − earlier).
+    /// Difference of two snapshots (self − earlier). Saturating: the two
+    /// snapshots are not taken atomically, and background actors (the
+    /// compaction driver, propagation workers) keep advancing counters
+    /// between the individual loads — so a counter read for `earlier` can
+    /// race past the value read for `self`. Clamping at zero keeps such
+    /// races from wrapping to `u64::MAX`-sized "diffs".
     pub fn since(&self, earlier: &PropStatsSnapshot) -> PropStatsSnapshot {
         PropStatsSnapshot {
-            forward_queries: self.forward_queries - earlier.forward_queries,
-            comp_queries: self.comp_queries - earlier.comp_queries,
-            base_rows_read: self.base_rows_read - earlier.base_rows_read,
-            delta_rows_read: self.delta_rows_read - earlier.delta_rows_read,
-            vd_rows_written: self.vd_rows_written - earlier.vd_rows_written,
-            transactions: self.transactions - earlier.transactions,
+            forward_queries: self.forward_queries.saturating_sub(earlier.forward_queries),
+            comp_queries: self.comp_queries.saturating_sub(earlier.comp_queries),
+            base_rows_read: self.base_rows_read.saturating_sub(earlier.base_rows_read),
+            delta_rows_read: self.delta_rows_read.saturating_sub(earlier.delta_rows_read),
+            vd_rows_written: self.vd_rows_written.saturating_sub(earlier.vd_rows_written),
+            transactions: self.transactions.saturating_sub(earlier.transactions),
             max_txn_rows: self.max_txn_rows, // high-water, not differenced
-            scan_cache_hits: self.scan_cache_hits - earlier.scan_cache_hits,
-            scan_cache_misses: self.scan_cache_misses - earlier.scan_cache_misses,
-            scan_cache_rows: self.scan_cache_rows - earlier.scan_cache_rows,
-            compact_rows_in: self.compact_rows_in - earlier.compact_rows_in,
-            compact_rows_saved: self.compact_rows_saved - earlier.compact_rows_saved,
-            worker_busy_nanos: self.worker_busy_nanos - earlier.worker_busy_nanos,
-            query_wall_nanos: self.query_wall_nanos - earlier.query_wall_nanos,
-            lock_wait_nanos: self.lock_wait_nanos - earlier.lock_wait_nanos,
+            scan_cache_hits: self.scan_cache_hits.saturating_sub(earlier.scan_cache_hits),
+            scan_cache_misses: self
+                .scan_cache_misses
+                .saturating_sub(earlier.scan_cache_misses),
+            scan_cache_rows: self.scan_cache_rows.saturating_sub(earlier.scan_cache_rows),
+            compact_rows_in: self.compact_rows_in.saturating_sub(earlier.compact_rows_in),
+            compact_rows_saved: self
+                .compact_rows_saved
+                .saturating_sub(earlier.compact_rows_saved),
+            worker_busy_nanos: self
+                .worker_busy_nanos
+                .saturating_sub(earlier.worker_busy_nanos),
+            query_wall_nanos: self
+                .query_wall_nanos
+                .saturating_sub(earlier.query_wall_nanos),
+            lock_wait_nanos: self.lock_wait_nanos.saturating_sub(earlier.lock_wait_nanos),
             max_queue_depth: self.max_queue_depth, // high-water, not differenced
         }
     }
@@ -289,6 +302,73 @@ mod tests {
         assert_eq!(d.comp_queries, 1);
         assert_eq!(d.forward_queries, 0);
         assert_eq!(d.base_rows_read, 2);
+    }
+
+    #[test]
+    fn since_saturates_when_earlier_raced_ahead() {
+        // Snapshots are not atomic: a background compactor or worker can
+        // advance counters between the field loads of two snapshots, so
+        // the "earlier" one may hold larger values on some fields. The
+        // diff must clamp at zero, never wrap.
+        let earlier = PropStatsSnapshot {
+            comp_queries: 10,
+            compact_rows_in: 500,
+            compact_rows_saved: 400,
+            worker_busy_nanos: 9_999,
+            ..Default::default()
+        };
+        let later = PropStatsSnapshot {
+            comp_queries: 8, // raced: read before earlier's load completed
+            compact_rows_in: 650,
+            compact_rows_saved: 390,
+            worker_busy_nanos: 0,
+            ..Default::default()
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.comp_queries, 0, "clamped, not wrapped");
+        assert_eq!(d.compact_rows_in, 150);
+        assert_eq!(d.compact_rows_saved, 0);
+        assert_eq!(d.worker_busy_nanos, 0);
+    }
+
+    #[test]
+    fn gran_since_saturates_too() {
+        let mut earlier = GranStatsSnapshot {
+            waits: 5,
+            ..Default::default()
+        };
+        earlier.wait_hist_us[2] = 3;
+        let mut later = GranStatsSnapshot {
+            waits: 4,
+            acquisitions: 9,
+            ..Default::default()
+        };
+        later.wait_hist_us[2] = 2;
+        let d = later.since(&earlier);
+        assert_eq!(d.waits, 0);
+        assert_eq!(d.wait_hist_us[2], 0);
+        assert_eq!(d.acquisitions, 9);
+    }
+
+    #[test]
+    fn lock_breakdown_golden_string() {
+        // Synthetic snapshot with round nanosecond totals so the Duration
+        // Debug rendering is stable.
+        let mut s = LockStatsSnapshot::default();
+        s.table.waits = 2;
+        s.table.timeouts = 1;
+        s.table.wait_nanos = 2_000_000; // mean 1ms
+        s.stripe.waits = 4;
+        s.stripe.timeouts = 0;
+        s.stripe.wait_nanos = 2_000; // mean 500ns
+        assert_eq!(
+            format_lock_breakdown(&s),
+            "lock waits: table 2 (1 timeouts, mean 1ms) | stripe 4 (0 timeouts, mean 500ns)"
+        );
+        assert_eq!(
+            format_lock_breakdown(&LockStatsSnapshot::default()),
+            "lock waits: table 0 (0 timeouts, mean 0ns) | stripe 0 (0 timeouts, mean 0ns)"
+        );
     }
 
     #[test]

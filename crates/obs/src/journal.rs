@@ -1,0 +1,242 @@
+//! The propagation journal: an append-only per-step event log.
+//!
+//! Each propagation step — a `Propagate` round, a `RollingPropagate`
+//! per-relation step (including empty-skipped ones), an apply
+//! (`roll_to`), or a compaction pass — appends one [`JournalEntry`]
+//! recording what the step chose (relation, interval), what it issued
+//! (forward + compensation queries), what it produced (rows read /
+//! written), how long it took, and the resulting view-delta HWM. The
+//! bench harness consumes the journal so every benchmark run also emits
+//! a journal artifact alongside its `BENCH_*.json`.
+
+use crate::json_escape;
+use rolljoin_common::Csn;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One propagation-step record. Built with [`JournalEntry::new`] plus
+/// the chained `with_*` setters; fields are public so consumers (the
+/// harness, tests) can read them back directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Step id, assigned by [`Journal::append`] (1-based; 0 = unset).
+    pub step: u64,
+    /// Step kind: `"propagate"`, `"rolling"`, `"apply"`, `"compaction"`, …
+    pub kind: &'static str,
+    /// Relation index the step advanced, if relation-scoped.
+    pub relation: Option<usize>,
+    /// The propagation interval `(t_old, t_new]` the step covered.
+    pub interval: Option<(Csn, Csn)>,
+    /// Queries issued (forward + compensation).
+    pub queries: u64,
+    /// Of those, compensation queries.
+    pub comp_queries: u64,
+    /// Rows read from base/delta stores.
+    pub rows_read: u64,
+    /// Rows written to the view delta (or applied to the view).
+    pub rows_written: u64,
+    /// Wall-clock duration of the step, nanoseconds.
+    pub duration_ns: u64,
+    /// View-delta HWM (or mat_time, for apply steps) after the step.
+    pub hwm: Csn,
+    /// True when the step advanced the frontier without issuing any
+    /// queries because the interval contained no captured deltas.
+    pub skipped_empty: bool,
+    /// Free-form annotation.
+    pub note: Option<String>,
+}
+
+impl JournalEntry {
+    /// An empty entry of the given kind.
+    pub fn new(kind: &'static str) -> JournalEntry {
+        JournalEntry {
+            step: 0,
+            kind,
+            relation: None,
+            interval: None,
+            queries: 0,
+            comp_queries: 0,
+            rows_read: 0,
+            rows_written: 0,
+            duration_ns: 0,
+            hwm: 0,
+            skipped_empty: false,
+            note: None,
+        }
+    }
+
+    pub fn with_relation(mut self, rel: usize) -> Self {
+        self.relation = Some(rel);
+        self
+    }
+
+    pub fn with_interval(mut self, lo: Csn, hi: Csn) -> Self {
+        self.interval = Some((lo, hi));
+        self
+    }
+
+    pub fn with_queries(mut self, total: u64, comp: u64) -> Self {
+        self.queries = total;
+        self.comp_queries = comp;
+        self
+    }
+
+    pub fn with_rows(mut self, read: u64, written: u64) -> Self {
+        self.rows_read = read;
+        self.rows_written = written;
+        self
+    }
+
+    pub fn with_duration_ns(mut self, ns: u64) -> Self {
+        self.duration_ns = ns;
+        self
+    }
+
+    pub fn with_hwm(mut self, hwm: Csn) -> Self {
+        self.hwm = hwm;
+        self
+    }
+
+    pub fn with_skipped_empty(mut self, skipped: bool) -> Self {
+        self.skipped_empty = skipped;
+        self
+    }
+
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// Render as one JSON object (no trailing newline).
+    pub fn json(&self) -> String {
+        let mut fields = vec![
+            format!("\"step\": {}", self.step),
+            format!("\"kind\": \"{}\"", json_escape(self.kind)),
+        ];
+        if let Some(rel) = self.relation {
+            fields.push(format!("\"relation\": {rel}"));
+        }
+        if let Some((lo, hi)) = self.interval {
+            fields.push(format!("\"interval\": [{lo}, {hi}]"));
+        }
+        fields.push(format!("\"queries\": {}", self.queries));
+        fields.push(format!("\"comp_queries\": {}", self.comp_queries));
+        fields.push(format!("\"rows_read\": {}", self.rows_read));
+        fields.push(format!("\"rows_written\": {}", self.rows_written));
+        fields.push(format!("\"duration_ns\": {}", self.duration_ns));
+        fields.push(format!("\"hwm\": {}", self.hwm));
+        fields.push(format!("\"skipped_empty\": {}", self.skipped_empty));
+        if let Some(note) = &self.note {
+            fields.push(format!("\"note\": \"{}\"", json_escape(note)));
+        }
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+/// Append-only log of [`JournalEntry`]s with monotonically increasing
+/// step ids.
+pub struct Journal {
+    entries: Mutex<Vec<JournalEntry>>,
+    next_step: AtomicU64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Journal {
+        Journal {
+            entries: Mutex::new(Vec::new()),
+            next_step: AtomicU64::new(1),
+        }
+    }
+
+    /// Append an entry, assigning and returning its step id.
+    pub fn append(&self, mut entry: JournalEntry) -> u64 {
+        let step = self.next_step.fetch_add(1, Ordering::Relaxed);
+        entry.step = step;
+        self.entries.lock().expect("journal poisoned").push(entry);
+        step
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("journal poisoned").len()
+    }
+
+    /// True when no entries have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out all entries, in append order.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        self.entries.lock().expect("journal poisoned").clone()
+    }
+
+    /// Render the whole journal as a JSON array (one entry per line).
+    pub fn json(&self) -> String {
+        let entries = self.entries.lock().expect("journal poisoned");
+        let lines: Vec<String> = entries.iter().map(|e| format!("  {}", e.json())).collect();
+        format!("[\n{}\n]\n", lines.join(",\n"))
+    }
+
+    /// Drop all entries (step ids keep increasing).
+    pub fn clear(&self) {
+        self.entries.lock().expect("journal poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_monotone_step_ids() {
+        let j = Journal::new();
+        let a = j.append(JournalEntry::new("propagate"));
+        let b = j.append(JournalEntry::new("rolling"));
+        assert_eq!((a, b), (1, 2));
+        let entries = j.entries();
+        assert_eq!(entries[0].step, 1);
+        assert_eq!(entries[1].kind, "rolling");
+    }
+
+    #[test]
+    fn builder_round_trips_through_json() {
+        let e = JournalEntry::new("rolling")
+            .with_relation(1)
+            .with_interval(4, 9)
+            .with_queries(3, 2)
+            .with_rows(120, 7)
+            .with_duration_ns(5_000)
+            .with_hwm(9)
+            .with_note("deferred");
+        let json = e.json();
+        assert!(json.contains("\"kind\": \"rolling\""));
+        assert!(json.contains("\"relation\": 1"));
+        assert!(json.contains("\"interval\": [4, 9]"));
+        assert!(json.contains("\"comp_queries\": 2"));
+        assert!(json.contains("\"skipped_empty\": false"));
+        assert!(json.contains("\"note\": \"deferred\""));
+    }
+
+    #[test]
+    fn journal_json_is_an_array() {
+        let j = Journal::new();
+        j.append(JournalEntry::new("a"));
+        j.append(JournalEntry::new("b").with_skipped_empty(true));
+        let json = j.json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert_eq!(json.matches("\"step\"").count(), 2);
+        assert!(json.contains("\"skipped_empty\": true"));
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.append(JournalEntry::new("c")), 3, "ids keep rising");
+    }
+}

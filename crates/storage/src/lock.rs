@@ -331,17 +331,21 @@ impl GranStatsSnapshot {
             .map_or(Duration::ZERO, Duration::from_nanos)
     }
 
-    /// Difference of two snapshots (self − earlier).
+    /// Difference of two snapshots (self − earlier). Saturating: the
+    /// counters keep moving while a snapshot's fields are loaded one by
+    /// one, so an `earlier` taken concurrently with lock traffic can read
+    /// ahead of `self` on individual fields — clamp at zero instead of
+    /// wrapping.
     pub fn since(&self, earlier: &GranStatsSnapshot) -> GranStatsSnapshot {
         let mut hist = [0u64; WAIT_HIST_BUCKETS];
         for (i, o) in hist.iter_mut().enumerate() {
-            *o = self.wait_hist_us[i] - earlier.wait_hist_us[i];
+            *o = self.wait_hist_us[i].saturating_sub(earlier.wait_hist_us[i]);
         }
         GranStatsSnapshot {
-            wait_nanos: self.wait_nanos - earlier.wait_nanos,
-            waits: self.waits - earlier.waits,
-            acquisitions: self.acquisitions - earlier.acquisitions,
-            timeouts: self.timeouts - earlier.timeouts,
+            wait_nanos: self.wait_nanos.saturating_sub(earlier.wait_nanos),
+            waits: self.waits.saturating_sub(earlier.waits),
+            acquisitions: self.acquisitions.saturating_sub(earlier.acquisitions),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
             wait_hist_us: hist,
         }
     }

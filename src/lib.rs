@@ -18,12 +18,17 @@
 //!   extension.
 //! * [`workload`] — seeded workload generators and a concurrent scenario
 //!   runner used by the experiment harness.
+//! * [`obs`] — the observability layer: span tracing for the propagation
+//!   recursion (Chrome `trace_event` export), a metrics registry with
+//!   `propagation_lag` / `view_staleness` gauges (Prometheus text + JSON
+//!   exporters), and an append-only per-interval propagation journal.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the reproduction inventory.
 
 pub use rolljoin_common as common;
 pub use rolljoin_core as core;
+pub use rolljoin_obs as obs;
 pub use rolljoin_relalg as relalg;
 pub use rolljoin_storage as storage;
 pub use rolljoin_workload as workload;
