@@ -6,6 +6,7 @@ pub mod ablation2;
 pub mod apply_exp;
 pub mod compaction_exp;
 pub mod contention;
+pub mod delta_index_exp;
 pub mod observe_exp;
 pub mod parallel_exp;
 pub mod refresh;
@@ -110,6 +111,11 @@ pub fn all() -> Vec<Experiment> {
             "e19",
             "observability — ObsConfig tier overhead + artifact audit",
             observe_exp::e19,
+        ),
+        (
+            "e20",
+            "keyed delta indexes — probe pushdown, selectivity × depth",
+            delta_index_exp::e20,
         ),
     ]
 }

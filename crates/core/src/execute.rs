@@ -265,20 +265,55 @@ impl MaintCtx {
         }
     }
 
-    /// Fetch all slot row sets of a propagation query within `txn`,
-    /// delta slots first, then base slots in cascaded semi-join order:
-    /// a base slot equi-joined to an **already-fetched** neighbor (delta
-    /// or base) with an index on its join column is probed by the
-    /// neighbor's distinct key values instead of scanned. Because fetched
-    /// keyed slots become probe sources themselves, the keying cascades
-    /// down a chain — `ΔR1`'s keys probe `R2`, whose result rows' keys
-    /// probe `R3`, and so on — so the transaction touches (and, under
-    /// striped locking, locks) rows proportional to the *delta*, not the
-    /// tables. Only when no fetched neighbor offers a small enough key
-    /// set does a slot fall back to a full scan (table-granularity S
-    /// lock). Under table granularity callers must already hold the
-    /// base-table locks; under striped granularity the fetches acquire
-    /// IS + key-stripe S locks (or table S for scans) on demand.
+    /// Fetch one delta slot's *full* range through the step-scoped scan
+    /// cache, recording cache and scan-compaction stats.
+    fn fetch_delta_full(
+        &self,
+        txn: &mut rolljoin_storage::Txn,
+        table: rolljoin_common::TableId,
+        iv: rolljoin_common::TimeInterval,
+        compact: bool,
+    ) -> Result<SlotInput> {
+        let source = SlotSource::Delta(table, iv);
+        let (input, hit, raw) =
+            fetch_cached(&self.engine, txn, &source, &self.scan_cache, compact)?;
+        self.stats.record_scan_cache(hit, input.len() as u64);
+        if self.obs.metrics_on() {
+            if hit {
+                self.meters.scan_cache_hits.inc(1);
+            } else {
+                self.meters.scan_cache_misses.inc(1);
+            }
+        }
+        if compact && !hit {
+            self.stats
+                .record_scan_compaction(raw as u64, input.len() as u64);
+        }
+        Ok(input)
+    }
+
+    /// Fetch all slot row sets of a propagation query within `txn`: the
+    /// smallest delta range first (the seed), then the rest in cascaded
+    /// semi-join order — a slot equi-joined to an **already-fetched**
+    /// neighbor with an index on its join column is probed by the
+    /// neighbor's distinct key values instead of scanned. Base slots probe
+    /// through their secondary index; delta slots probe through their
+    /// keyed time-range index, resolving each key to a binary-search
+    /// posting slice of `σ_{a,b}(Δ^R)`. Because fetched keyed slots become
+    /// probe sources themselves, the keying cascades down a chain —
+    /// `ΔR1`'s keys probe `σ`-ranges of `Δ^{R2}`, whose rows' keys probe
+    /// `R3`, and so on — so the transaction touches (and, under striped
+    /// locking, locks) rows proportional to the *delta*, not the tables or
+    /// the delta history depth. Probe-vs-scan decisions: base slots use
+    /// `keys × probe_scan_ratio < distinct table keys`; delta slots use
+    /// the *exact* posting-slice count, `estimate × delta_probe_ratio <
+    /// range rows`. Only when no fetched neighbor offers a cheap enough
+    /// probe does a slot fall back to a full fetch (range scan for deltas,
+    /// table-granularity S-locked scan for bases). Under table granularity
+    /// callers must already hold the base-table locks; under striped
+    /// granularity the fetches acquire IS + key-stripe S locks (or table S
+    /// for scans) on demand — keyed delta probes take the same footprint
+    /// as keyed base probes.
     pub fn fetch_slots(
         &self,
         txn: &mut rolljoin_storage::Txn,
@@ -295,32 +330,57 @@ impl MaintCtx {
         };
         let compact = self.tuning.compaction.compact_on_scan();
         let mut slot_rows: Vec<Option<SlotInput>> = (0..n).map(|_| None).collect();
-        for (i, slot) in q.slots.iter().enumerate() {
-            if let Slot::Delta(iv) = slot {
-                let source = SlotSource::Delta(view.bases[i], *iv);
-                let (input, hit, raw) =
-                    fetch_cached(&self.engine, txn, &source, &self.scan_cache, compact)?;
-                self.stats.record_scan_cache(hit, input.len() as u64);
-                if self.obs.metrics_on() {
-                    if hit {
-                        self.meters.scan_cache_hits.inc(1);
-                    } else {
-                        self.meters.scan_cache_misses.inc(1);
-                    }
-                }
-                if compact && !hit {
-                    self.stats
-                        .record_scan_compaction(raw as u64, input.len() as u64);
-                }
-                slot_rows[i] = Some(input);
-            }
+
+        // Seed the cascade. With delta probing on, only the smallest delta
+        // range is materialized unconditionally — the others stay pending
+        // so the cascade may resolve them as keyed probes. With it off,
+        // every delta range is fetched up front (the pre-index behavior).
+        let deltas: Vec<(usize, rolljoin_common::TimeInterval)> = q
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Delta(iv) => Some((i, *iv)),
+                Slot::Base => None,
+            })
+            .collect();
+        let prefetch: Vec<(usize, rolljoin_common::TimeInterval)> =
+            if self.tuning.delta_probe && deltas.len() > 1 {
+                let seed = deltas
+                    .iter()
+                    .copied()
+                    .min_by_key(|&(i, iv)| {
+                        self.engine
+                            .delta_count(view.bases[i], iv)
+                            .unwrap_or(usize::MAX)
+                    })
+                    .expect("deltas is non-empty");
+                vec![seed]
+            } else {
+                deltas
+            };
+        for (i, iv) in prefetch {
+            slot_rows[i] = Some(self.fetch_delta_full(txn, view.bases[i], iv, compact)?);
         }
+
         let mut remaining: Vec<usize> = (0..n).filter(|&i| slot_rows[i].is_none()).collect();
         while !remaining.is_empty() {
             // Find a remaining slot probeable from a fetched neighbor.
-            let mut picked: Option<(usize, usize, Vec<rolljoin_common::Value>)> = None;
+            // `Option<TimeInterval>` distinguishes a keyed delta probe
+            // from a keyed base probe.
+            type Picked = (
+                usize,
+                usize,
+                Vec<rolljoin_common::Value>,
+                Option<rolljoin_common::TimeInterval>,
+            );
+            let mut picked: Option<Picked> = None;
             'slots: for &i in &remaining {
                 let base = view.bases[i];
+                let delta_iv = match q.slots[i] {
+                    Slot::Delta(iv) => Some(iv),
+                    Slot::Base => None,
+                };
                 for &(a, b) in &view.spec.equi {
                     let (sa, sb) = (slot_of(a), slot_of(b));
                     let (bcol, nslot, ncol) = if sa == i && slot_rows[sb].is_some() {
@@ -331,7 +391,11 @@ impl MaintCtx {
                         continue;
                     };
                     let local_col = bcol - offsets[i];
-                    if !self.engine.has_index(base, local_col)? {
+                    let indexed = match delta_iv {
+                        Some(_) => self.engine.has_delta_index(base, local_col)?,
+                        None => self.engine.has_index(base, local_col)?,
+                    };
+                    if !indexed {
                         continue;
                     }
                     let nrows = slot_rows[nslot].as_ref().expect("neighbor fetched");
@@ -344,38 +408,99 @@ impl MaintCtx {
                         .collect::<std::collections::HashSet<_>>()
                         .into_iter()
                         .collect();
-                    // Probing beats scanning only while the key set is
-                    // small relative to the table.
-                    if keys.len() * self.tuning.probe_scan_ratio
-                        >= self.engine.table_distinct(base)?.max(1)
-                    {
-                        continue;
+                    match delta_iv {
+                        // Delta side: the posting-slice count is exact, so
+                        // compare estimated matching rows against the full
+                        // range's row count directly.
+                        Some(iv) => {
+                            let est = self
+                                .engine
+                                .delta_keyed_estimate(base, iv, local_col, &keys)?
+                                .unwrap_or(usize::MAX);
+                            let range = self.engine.delta_count(base, iv)?;
+                            if est.saturating_mul(self.tuning.delta_probe_ratio) >= range.max(1) {
+                                continue;
+                            }
+                        }
+                        // Base side: probing beats scanning only while the
+                        // key set is small relative to the table.
+                        None => {
+                            if keys.len() * self.tuning.probe_scan_ratio
+                                >= self.engine.table_distinct(base)?.max(1)
+                            {
+                                continue;
+                            }
+                        }
                     }
-                    picked = Some((i, local_col, keys));
+                    picked = Some((i, local_col, keys, delta_iv));
                     break 'slots;
                 }
             }
-            let (i, source) = match picked {
-                Some((i, col, keys)) => (
-                    i,
-                    SlotSource::BaseKeyed {
+            match picked {
+                // Keyed delta probe: per-key posting slices, φ-compacted,
+                // bypassing the scan cache (the result is key-set-specific).
+                Some((i, col, keys, Some(iv))) => {
+                    let source = SlotSource::DeltaKeyed {
+                        table: view.bases[i],
+                        interval: iv,
+                        col,
+                        keys: std::sync::Arc::new(keys),
+                    };
+                    let (input, _, raw) =
+                        fetch_cached(&self.engine, txn, &source, &self.scan_cache, compact)?;
+                    self.stats.record_delta_decision(true, raw as u64);
+                    if compact {
+                        self.stats
+                            .record_scan_compaction(raw as u64, input.len() as u64);
+                    }
+                    if self.obs.metrics_on() {
+                        self.meters.delta_index_probes.inc(1);
+                        self.meters.delta_index_probe_rows.inc(raw as u64);
+                    }
+                    slot_rows[i] = Some(input);
+                    remaining.retain(|&x| x != i);
+                }
+                Some((i, col, keys, None)) => {
+                    let source = SlotSource::BaseKeyed {
                         table: view.bases[i],
                         col,
                         keys: std::sync::Arc::new(keys),
-                    },
-                ),
-                None => {
-                    // No probeable slot: full-scan the lowest-TableId one
-                    // (its rows may make neighbors probeable next round).
-                    let &i = remaining
-                        .iter()
-                        .min_by_key(|&&i| view.bases[i])
-                        .expect("remaining is non-empty");
-                    (i, SlotSource::Base(view.bases[i]))
+                    };
+                    slot_rows[i] = Some(SlotInput::Owned(fetch(&self.engine, txn, &source)?));
+                    remaining.retain(|&x| x != i);
                 }
-            };
-            slot_rows[i] = Some(SlotInput::Owned(fetch(&self.engine, txn, &source)?));
-            remaining.retain(|&x| x != i);
+                None => {
+                    // No probeable slot. Pending delta slots fall back to a
+                    // full range fetch (recorded as a scan decision); after
+                    // that, full-scan the lowest-TableId base slot (its rows
+                    // may make neighbors probeable next round).
+                    if let Some(&i) = remaining
+                        .iter()
+                        .filter(|&&i| q.slots[i].is_delta())
+                        .min_by_key(|&&i| view.bases[i])
+                    {
+                        let iv = match q.slots[i] {
+                            Slot::Delta(iv) => iv,
+                            Slot::Base => unreachable!("filtered to delta slots"),
+                        };
+                        slot_rows[i] =
+                            Some(self.fetch_delta_full(txn, view.bases[i], iv, compact)?);
+                        self.stats.record_delta_decision(false, 0);
+                        if self.obs.metrics_on() {
+                            self.meters.delta_index_scans.inc(1);
+                        }
+                        remaining.retain(|&x| x != i);
+                    } else {
+                        let &i = remaining
+                            .iter()
+                            .min_by_key(|&&i| view.bases[i])
+                            .expect("remaining is non-empty");
+                        let source = SlotSource::Base(view.bases[i]);
+                        slot_rows[i] = Some(SlotInput::Owned(fetch(&self.engine, txn, &source)?));
+                        remaining.retain(|&x| x != i);
+                    }
+                }
+            }
         }
         Ok(slot_rows
             .into_iter()
@@ -556,6 +681,8 @@ impl MaintCtx {
         m.mat_time.set(mat as i64);
         m.propagation_lag.set(capture.saturating_sub(hwm) as i64);
         m.view_staleness.set(capture.saturating_sub(mat) as i64);
+        m.delta_postings_bytes
+            .set(self.engine.delta_postings_bytes() as i64);
     }
 
     /// Fold the cold-path sources into the metrics registry — the lock
@@ -741,6 +868,110 @@ mod tests {
             .with_tuning(crate::policy::ExecTuning::sequential().with_probe_scan_ratio(5));
         let out = scanning.execute(&q, 1).unwrap();
         assert_eq!(out.stats.rows_in[1], 50, "10×5 ≥ 50 → scan");
+    }
+
+    #[test]
+    fn pushdown_probes_indexed_delta_slots() {
+        let (ctx, r, s) = two_table_ctx();
+        let e = &ctx.engine;
+        e.create_delta_index(s, 0).unwrap();
+        // Deep Δ^S history: 200 single-row commits on distinct keys, then
+        // one ΔR row joining key 77. The compensation query ΔR ⋈ Δ^S
+        // should resolve the Δ^S slot by a keyed posting probe.
+        let mut last = 0;
+        for i in 0..200i64 {
+            let mut w = e.begin();
+            w.insert(s, tup![i, i]).unwrap();
+            last = w.commit().unwrap();
+        }
+        let mut w = e.begin();
+        w.insert(r, tup![1, 77]).unwrap();
+        let c = w.commit().unwrap();
+        let q = PropQuery::all_base(2)
+            .with_delta(0, TimeInterval::new(last, c))
+            .with_delta(1, TimeInterval::new(0, last));
+        let out = ctx.execute(&q, -1).unwrap();
+        assert_eq!(
+            out.stats.rows_in,
+            vec![1, 1],
+            "ΔR's key probed Δ^S's postings, not the 200-row range"
+        );
+        assert_eq!(out.stats.rows_out, 1);
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.delta_probe_decisions, 1);
+        assert_eq!(snap.delta_scan_decisions, 0);
+        assert_eq!(snap.delta_probe_rows, 1);
+        assert!(snap.delta_probe_rate() > 0.99);
+
+        // With probing disabled the same query scans the whole Δ^S range.
+        let scanning = ctx
+            .clone()
+            .with_tuning(crate::policy::ExecTuning::sequential().with_delta_probe(false));
+        let out = scanning.execute(&q, -1).unwrap();
+        assert_eq!(out.stats.rows_in, vec![1, 200], "probing off → range scan");
+    }
+
+    #[test]
+    fn delta_probe_estimate_rejects_hot_key_ranges() {
+        let (ctx, r, s) = two_table_ctx();
+        let e = &ctx.engine;
+        e.create_delta_index(s, 0).unwrap();
+        // Every Δ^S row carries the probe key: the posting-slice estimate
+        // equals the range size, so probing cannot win and the planner
+        // falls back to the range scan (recorded as a scan decision).
+        let mut last = 0;
+        for i in 0..20i64 {
+            let mut w = e.begin();
+            w.insert(s, tup![77, i]).unwrap();
+            last = w.commit().unwrap();
+        }
+        let mut w = e.begin();
+        w.insert(r, tup![1, 77]).unwrap();
+        let c = w.commit().unwrap();
+        let q = PropQuery::all_base(2)
+            .with_delta(0, TimeInterval::new(last, c))
+            .with_delta(1, TimeInterval::new(0, last));
+        let out = ctx.execute(&q, -1).unwrap();
+        assert_eq!(
+            out.stats.rows_in,
+            vec![1, 20],
+            "hot key → estimate says scan"
+        );
+        let snap = ctx.stats.snapshot();
+        assert_eq!(snap.delta_probe_decisions, 0);
+        assert_eq!(snap.delta_scan_decisions, 1);
+    }
+
+    #[test]
+    fn delta_index_metrics_reach_prometheus() {
+        let (ctx, r, s) = two_table_ctx();
+        let ctx = ctx.with_obs_config(rolljoin_obs::ObsConfig::Metrics);
+        let e = &ctx.engine;
+        e.create_delta_index(s, 0).unwrap();
+        let mut last = 0;
+        for i in 0..50i64 {
+            let mut w = e.begin();
+            w.insert(s, tup![i, i]).unwrap();
+            last = w.commit().unwrap();
+        }
+        let mut w = e.begin();
+        w.insert(r, tup![1, 7]).unwrap();
+        let c = w.commit().unwrap();
+        let q = PropQuery::all_base(2)
+            .with_delta(0, TimeInterval::new(last, c))
+            .with_delta(1, TimeInterval::new(0, last));
+        ctx.execute(&q, -1).unwrap();
+        let text = ctx.prometheus().unwrap();
+        assert!(text.contains("rolljoin_delta_index_total{decision=\"probe\"} 1"));
+        assert!(text.contains("rolljoin_delta_index_total{decision=\"scan\"} 0"));
+        assert!(text.contains("rolljoin_delta_index_probe_rows_total 1"));
+        // The postings gauge reflects live index memory.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("rolljoin_delta_postings_bytes"))
+            .expect("postings gauge rendered");
+        let bytes: i64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(bytes > 0, "postings bytes gauge is live: {line}");
     }
 
     #[test]

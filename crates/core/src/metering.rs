@@ -36,6 +36,10 @@ pub struct CoreMeters {
     pub view_staleness: Gauge,
     pub scan_cache_hits: Counter,
     pub scan_cache_misses: Counter,
+    pub delta_index_probes: Counter,
+    pub delta_index_scans: Counter,
+    pub delta_index_probe_rows: Counter,
+    pub delta_postings_bytes: Gauge,
 }
 
 impl CoreMeters {
@@ -101,6 +105,24 @@ impl CoreMeters {
             ),
             scan_cache_hits: cache("hit"),
             scan_cache_misses: cache("miss"),
+            delta_index_probes: meter.counter_l(
+                "rolljoin_delta_index_total",
+                Some(("decision", "probe")),
+                "Pending delta slots planned, by keyed-index decision.",
+            ),
+            delta_index_scans: meter.counter_l(
+                "rolljoin_delta_index_total",
+                Some(("decision", "scan")),
+                "Pending delta slots planned, by keyed-index decision.",
+            ),
+            delta_index_probe_rows: meter.counter(
+                "rolljoin_delta_index_probe_rows_total",
+                "Rows fetched through keyed delta-index probes.",
+            ),
+            delta_postings_bytes: meter.gauge(
+                "rolljoin_delta_postings_bytes",
+                "Approximate heap bytes held by keyed delta-index postings.",
+            ),
         }
     }
 

@@ -62,6 +62,19 @@ pub struct ExecTuning {
     /// only while `delta keys × ratio < distinct table keys`; otherwise
     /// scan. Larger values scan sooner.
     pub probe_scan_ratio: usize,
+    /// Let delta slots participate in the keyed probe cascade: a pending
+    /// `σ_{a,b}(Δ^R)` slot whose join column carries a keyed time-range
+    /// index is probed by an already-fetched neighbor's keys instead of
+    /// range-scanned. Off reproduces the fetch-every-delta-range-first
+    /// behavior.
+    pub delta_probe: bool,
+    /// Probe-vs-scan threshold for delta slots. Unlike the base-side
+    /// heuristic (key count × ratio vs distinct keys), the delta side has
+    /// an *exact* matching-row count from posting-list slice lengths, so
+    /// the rule is `estimated rows × ratio < range rows`. Larger values
+    /// scan sooner; `1` probes whenever the keyed slice is strictly
+    /// smaller than the range.
+    pub delta_probe_ratio: usize,
     /// Lock granularity for base-table reads and writes. `Table` is the
     /// seed behavior (whole-table S/X); `Striped(n)` takes intention
     /// locks at the table plus S/X on `hash(key) % n` stripes, so keyed
@@ -89,6 +102,8 @@ impl Default for ExecTuning {
                 .unwrap_or(1)
                 .min(4),
             probe_scan_ratio: 4,
+            delta_probe: true,
+            delta_probe_ratio: 1,
             lock_granularity: LockGranularity::Table,
             compaction: CompactionPolicy::Off,
             obs: rolljoin_obs::ObsConfig::Off,
@@ -114,6 +129,18 @@ impl ExecTuning {
     /// Set the probe-vs-scan threshold (clamped to ≥ 1).
     pub fn with_probe_scan_ratio(mut self, ratio: usize) -> Self {
         self.probe_scan_ratio = ratio.max(1);
+        self
+    }
+
+    /// Enable or disable keyed delta-index probing of delta slots.
+    pub fn with_delta_probe(mut self, on: bool) -> Self {
+        self.delta_probe = on;
+        self
+    }
+
+    /// Set the delta-slot probe-vs-scan threshold (clamped to ≥ 1).
+    pub fn with_delta_probe_ratio(mut self, ratio: usize) -> Self {
+        self.delta_probe_ratio = ratio.max(1);
         self
     }
 
@@ -288,6 +315,19 @@ mod tests {
         assert_eq!(t.workers, 1);
         assert_eq!(t.probe_scan_ratio, 1);
         assert_eq!(ExecTuning::sequential().with_workers(8).workers, 8);
+        assert!(t.delta_probe, "delta probing is on by default");
+        assert_eq!(t.delta_probe_ratio, 1);
+        let t2 = ExecTuning::sequential()
+            .with_delta_probe(false)
+            .with_delta_probe_ratio(0);
+        assert!(!t2.delta_probe);
+        assert_eq!(t2.delta_probe_ratio, 1, "ratio clamps to ≥ 1");
+        assert_eq!(
+            ExecTuning::sequential()
+                .with_delta_probe_ratio(3)
+                .delta_probe_ratio,
+            3
+        );
         assert_eq!(t.lock_granularity, LockGranularity::Table);
         assert_eq!(
             ExecTuning::sequential()

@@ -56,6 +56,14 @@ pub struct PropStats {
     pub lock_wait_nanos: AtomicU64,
     /// Deepest the worker's pending-unit queue ever got.
     pub max_queue_depth: AtomicU64,
+    /// Pending delta slots the planner resolved by a keyed delta-index
+    /// probe (per-key posting slices) instead of a full range scan.
+    pub delta_probe_decisions: AtomicU64,
+    /// Pending delta slots that fell back to a full range scan (no index,
+    /// or the posting-length estimate said probing wouldn't pay).
+    pub delta_scan_decisions: AtomicU64,
+    /// Rows fetched through keyed delta-index probes.
+    pub delta_probe_rows: AtomicU64,
 }
 
 /// A point-in-time copy of [`PropStats`].
@@ -77,6 +85,9 @@ pub struct PropStatsSnapshot {
     pub query_wall_nanos: u64,
     pub lock_wait_nanos: u64,
     pub max_queue_depth: u64,
+    pub delta_probe_decisions: u64,
+    pub delta_scan_decisions: u64,
+    pub delta_probe_rows: u64,
 }
 
 impl PropStats {
@@ -143,6 +154,17 @@ impl PropStats {
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Record one delta-slot planner decision: a keyed index probe that
+    /// fetched `rows`, or a full range scan (`rows` ignored).
+    pub(crate) fn record_delta_decision(&self, probed: bool, rows: u64) {
+        if probed {
+            self.delta_probe_decisions.fetch_add(1, Ordering::Relaxed);
+            self.delta_probe_rows.fetch_add(rows, Ordering::Relaxed);
+        } else {
+            self.delta_scan_decisions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot all counters.
     pub fn snapshot(&self) -> PropStatsSnapshot {
         PropStatsSnapshot {
@@ -162,6 +184,9 @@ impl PropStats {
             query_wall_nanos: self.query_wall_nanos.load(Ordering::Relaxed),
             lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            delta_probe_decisions: self.delta_probe_decisions.load(Ordering::Relaxed),
+            delta_scan_decisions: self.delta_scan_decisions.load(Ordering::Relaxed),
+            delta_probe_rows: self.delta_probe_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -184,6 +209,17 @@ impl PropStatsSnapshot {
             0.0
         } else {
             self.compact_rows_saved as f64 / self.compact_rows_in as f64
+        }
+    }
+
+    /// Fraction of delta-slot planner decisions that chose a keyed index
+    /// probe, in `[0, 1]`; `0` when no pending delta slot was ever planned.
+    pub fn delta_probe_rate(&self) -> f64 {
+        let total = self.delta_probe_decisions + self.delta_scan_decisions;
+        if total == 0 {
+            0.0
+        } else {
+            self.delta_probe_decisions as f64 / total as f64
         }
     }
 
@@ -229,6 +265,15 @@ impl PropStatsSnapshot {
                 .saturating_sub(earlier.query_wall_nanos),
             lock_wait_nanos: self.lock_wait_nanos.saturating_sub(earlier.lock_wait_nanos),
             max_queue_depth: self.max_queue_depth, // high-water, not differenced
+            delta_probe_decisions: self
+                .delta_probe_decisions
+                .saturating_sub(earlier.delta_probe_decisions),
+            delta_scan_decisions: self
+                .delta_scan_decisions
+                .saturating_sub(earlier.delta_scan_decisions),
+            delta_probe_rows: self
+                .delta_probe_rows
+                .saturating_sub(earlier.delta_probe_rows),
         }
     }
 }
@@ -381,6 +426,24 @@ mod tests {
         assert_eq!(snap.compact_rows_in, 12);
         assert_eq!(snap.compact_rows_saved, 6);
         assert_eq!(snap.scan_compaction_save_rate(), 0.5);
+    }
+
+    #[test]
+    fn delta_decision_counters_and_rate() {
+        let s = PropStats::new();
+        assert_eq!(s.snapshot().delta_probe_rate(), 0.0);
+        s.record_delta_decision(true, 4);
+        s.record_delta_decision(true, 2);
+        s.record_delta_decision(false, 999);
+        let snap = s.snapshot();
+        assert_eq!(snap.delta_probe_decisions, 2);
+        assert_eq!(snap.delta_scan_decisions, 1);
+        assert_eq!(snap.delta_probe_rows, 6);
+        assert!((snap.delta_probe_rate() - 2.0 / 3.0).abs() < 1e-9);
+        let d = snap.since(&PropStatsSnapshot::default());
+        assert_eq!(d.delta_probe_decisions, 2);
+        assert_eq!(d.delta_scan_decisions, 1);
+        assert_eq!(d.delta_probe_rows, 6);
     }
 
     #[test]

@@ -80,7 +80,36 @@ pub fn ts_range(input: RowIter, interval: TimeInterval) -> RowIter {
     Box::new(input.filter(move |r| r.ts.is_some_and(|t| interval.contains(t))))
 }
 
-fn key_of(tuple: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+/// An equi-join key whose hash is computed once at construction. `Hash`
+/// replays the stored value, so hash-table growth (which re-hashes every
+/// resident key) and repeated probes against shared build indexes cost one
+/// `u64` write instead of re-walking every [`Value`] — the build side of a
+/// join hashes each key exactly once.
+#[derive(PartialEq, Eq)]
+pub(crate) struct JoinKey {
+    hash: u64,
+    vals: Vec<Value>,
+}
+
+impl JoinKey {
+    fn new(vals: Vec<Value>) -> JoinKey {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        vals.hash(&mut h);
+        JoinKey {
+            hash: h.finish(),
+            vals,
+        }
+    }
+}
+
+impl std::hash::Hash for JoinKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+fn key_of(tuple: &Tuple, cols: &[usize]) -> Option<JoinKey> {
     let mut key = Vec::with_capacity(cols.len());
     for &c in cols {
         let v = tuple.get(c);
@@ -89,7 +118,7 @@ fn key_of(tuple: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
         }
         key.push(v.clone());
     }
-    Some(key)
+    Some(JoinKey::new(key))
 }
 
 /// Hash equi-join.
@@ -110,7 +139,7 @@ pub fn hash_join(
     build_keys: Vec<usize>,
 ) -> RowIter {
     assert_eq!(probe_keys.len(), build_keys.len(), "key arity mismatch");
-    let mut table: HashMap<Vec<Value>, Vec<DeltaRow>> = HashMap::new();
+    let mut table: HashMap<JoinKey, Vec<DeltaRow>> = HashMap::new();
     for row in build {
         if let Some(key) = key_of(&row.tuple, &build_keys) {
             table.entry(key).or_default().push(row);
@@ -135,15 +164,16 @@ pub fn hash_join(
 pub struct JoinIndex {
     /// Local (slot-relative) build key columns the index was built on.
     keys: Vec<usize>,
-    map: HashMap<Vec<Value>, Vec<DeltaRow>>,
+    map: HashMap<JoinKey, Vec<DeltaRow>>,
     rows: usize,
 }
 
 impl JoinIndex {
     /// Hash `build` on `keys` (NULL keys never join, matching
-    /// [`hash_join`]).
+    /// [`hash_join`]). Key hashes are computed once here and reused for
+    /// every probe of the shared index.
     pub fn build(build: &[DeltaRow], keys: Vec<usize>) -> JoinIndex {
-        let mut map: HashMap<Vec<Value>, Vec<DeltaRow>> = HashMap::new();
+        let mut map: HashMap<JoinKey, Vec<DeltaRow>> = HashMap::new();
         for row in build {
             if let Some(key) = key_of(&row.tuple, &keys) {
                 map.entry(key).or_default().push(row.clone());

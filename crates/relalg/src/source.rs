@@ -37,6 +37,20 @@ pub enum SlotSource {
         col: usize,
         keys: Arc<Vec<Value>>,
     },
+    /// A delta range restricted by a keyed time-range index probe: only
+    /// rows of `σ_{a,b}(Δ^{R^i})` whose `col` matches one of `keys` — the
+    /// delta-side analogue of [`SlotSource::BaseKeyed`]. Each key resolves
+    /// to a binary-search slice of that key's CSN-ordered posting list, so
+    /// cost tracks matching rows instead of the whole range. Under striped
+    /// granularity the probe takes the same IS + key-stripe S footprint as
+    /// a keyed base probe; below the capture HWM the read itself is
+    /// lock-free against immutable history.
+    DeltaKeyed {
+        table: TableId,
+        interval: TimeInterval,
+        col: usize,
+        keys: Arc<Vec<Value>>,
+    },
 }
 
 impl std::fmt::Display for SlotSource {
@@ -47,6 +61,14 @@ impl std::fmt::Display for SlotSource {
                 write!(f, "{table}[col{col}∈{} keys]", keys.len())
             }
             SlotSource::Delta(t, iv) => write!(f, "Δ{t}{iv}"),
+            SlotSource::DeltaKeyed {
+                table,
+                interval,
+                col,
+                keys,
+            } => {
+                write!(f, "Δ{table}{interval}[col{col}∈{} keys]", keys.len())
+            }
             SlotSource::AsOf(t, c) => write!(f, "{t}@{c}"),
         }
     }
@@ -92,6 +114,27 @@ pub fn fetch(engine: &Engine, txn: &mut Txn, source: &SlotSource) -> Result<Vec<
                 })
                 .collect())
         }
+        SlotSource::DeltaKeyed {
+            table,
+            interval,
+            col,
+            keys,
+        } => {
+            match txn.delta_lookup_keys(*table, *interval, *col, keys)? {
+                Some(rows) => Ok(rows),
+                // No keyed index on that column (e.g. a planner race with
+                // recovery): fall back to filtering the full range — same
+                // rows, scan cost.
+                None => {
+                    let set: std::collections::HashSet<&Value> = keys.iter().collect();
+                    Ok(engine
+                        .delta_range(*table, *interval)?
+                        .into_iter()
+                        .filter(|r| set.contains(r.tuple.get(*col)))
+                        .collect())
+                }
+            }
+        }
     }
 }
 
@@ -133,7 +176,24 @@ pub fn fetch_cached(
             if hit {
                 raw_rows = rows.len();
             }
-            Ok((SlotInput::Shared(rows, *table, *interval), hit, raw_rows))
+            Ok((
+                SlotInput::Shared(rows, *table, *interval, version),
+                hit,
+                raw_rows,
+            ))
+        }
+        // Keyed delta probes are key-set-specific, so they bypass the scan
+        // cache (an entry would only ever serve the query that made it) but
+        // still get φ-compacted so downstream joins see net churn.
+        keyed @ SlotSource::DeltaKeyed { .. } => {
+            let fetched = fetch(engine, txn, keyed)?;
+            let raw_rows = fetched.len();
+            let rows = if compact {
+                crate::net_effect::compact_rows(&fetched).0
+            } else {
+                fetched
+            };
+            Ok((SlotInput::Owned(rows), false, raw_rows))
         }
         other => {
             let rows = fetch(engine, txn, other)?;
@@ -209,9 +269,9 @@ mod tests {
         let (second, hit, _) = fetch_cached(&e, &mut txn, &src, &cache, false).unwrap();
         assert!(hit);
         match (&first, &second) {
-            (SlotInput::Shared(a, ta, iva), SlotInput::Shared(b, tb, ivb)) => {
+            (SlotInput::Shared(a, ta, iva, va), SlotInput::Shared(b, tb, ivb, vb)) => {
                 assert!(Arc::ptr_eq(a, b));
-                assert_eq!((ta, iva), (tb, ivb));
+                assert_eq!((ta, iva, va), (tb, ivb, vb));
                 assert_eq!(a.len(), 1);
             }
             _ => panic!("delta fetch should be shared"),
@@ -259,6 +319,86 @@ mod tests {
             }
             _ => panic!("delta fetch should be shared"),
         }
+    }
+
+    #[test]
+    fn delta_keyed_fetch_matches_filtered_scan() {
+        let (e, t) = engine();
+        for i in 0..6i64 {
+            let mut w = e.begin();
+            w.insert(t, tup![i % 3]).unwrap();
+            w.commit().unwrap();
+        }
+        e.capture_catch_up().unwrap();
+        e.create_delta_index(t, 0).unwrap();
+        let iv = TimeInterval::new(0, e.capture_hwm());
+        let keys = Arc::new(vec![Value::Int(0), Value::Int(2)]);
+        let src = SlotSource::DeltaKeyed {
+            table: t,
+            interval: iv,
+            col: 0,
+            keys: keys.clone(),
+        };
+        let mut txn = e.begin();
+        let keyed = fetch(&e, &mut txn, &src).unwrap();
+        let expect: Vec<DeltaRow> = fetch(&e, &mut txn, &SlotSource::Delta(t, iv))
+            .unwrap()
+            .into_iter()
+            .filter(|r| keys.contains(r.tuple.get(0)))
+            .collect();
+        assert_eq!(keyed, expect);
+        assert_eq!(keyed.len(), 4);
+    }
+
+    #[test]
+    fn delta_keyed_fetch_falls_back_without_index() {
+        let (e, t) = engine();
+        let mut w = e.begin();
+        w.insert(t, tup![1]).unwrap();
+        w.insert(t, tup![2]).unwrap();
+        let c = w.commit().unwrap();
+        e.capture_catch_up().unwrap();
+        // No index on col 0: the keyed source degrades to a filtered scan.
+        let src = SlotSource::DeltaKeyed {
+            table: t,
+            interval: TimeInterval::new(0, c),
+            col: 0,
+            keys: Arc::new(vec![Value::Int(2)]),
+        };
+        let mut txn = e.begin();
+        let rows = fetch(&e, &mut txn, &src).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tuple, tup![2]);
+        assert_eq!(format!("{src}"), format!("Δ{t}(0,{c}][col0∈1 keys]"));
+    }
+
+    #[test]
+    fn fetch_cached_keyed_delta_is_owned_and_compacted() {
+        let (e, t) = engine();
+        // Churn on key 1 netting to zero, plus a surviving key-2 row.
+        let mut w = e.begin();
+        w.insert(t, tup![1]).unwrap();
+        w.commit().unwrap();
+        let mut w = e.begin();
+        w.delete_one(t, &tup![1]).unwrap();
+        w.insert(t, tup![2]).unwrap();
+        let c = w.commit().unwrap();
+        e.capture_catch_up().unwrap();
+        e.create_delta_index(t, 0).unwrap();
+        let cache = ScanCache::new();
+        let src = SlotSource::DeltaKeyed {
+            table: t,
+            interval: TimeInterval::new(0, c),
+            col: 0,
+            keys: Arc::new(vec![Value::Int(1), Value::Int(2)]),
+        };
+        let mut txn = e.begin();
+        let (input, hit, raw) = fetch_cached(&e, &mut txn, &src, &cache, true).unwrap();
+        assert!(!hit, "keyed probes bypass the scan cache");
+        assert_eq!(raw, 3, "raw churn reported for stats");
+        assert_eq!(input.len(), 1, "φ-compaction nets the key-1 churn away");
+        assert!(matches!(input, SlotInput::Owned(_)));
+        assert_eq!(cache.stats().misses, 0, "scan cache untouched");
     }
 
     #[test]

@@ -129,7 +129,9 @@ impl Capture {
                         .push((*table, *count, tuple.clone()));
                 }
             }
-            WalRecord::CreateTable { .. } | WalRecord::CreateIndex { .. } => {}
+            WalRecord::CreateTable { .. }
+            | WalRecord::CreateIndex { .. }
+            | WalRecord::CreateDeltaIndex { .. } => {}
         }
     }
 

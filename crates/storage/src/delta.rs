@@ -97,6 +97,92 @@ fn approx_row_bytes(r: &DeltaRow) -> u64 {
     std::mem::size_of::<DeltaRow>() as u64 + approx_tuple_bytes(&r.tuple)
 }
 
+/// One posting: the row's position in the store's CSN-ordered `rows`
+/// vector plus its commit timestamp. Lists are kept in (position, csn)
+/// ascending order, so a `σ_{a,b}` selection over one key is a
+/// binary-search slice of its list.
+type Posting = (usize, Csn);
+
+/// Keyed time-range index: per indexed column, `key value → postings`.
+///
+/// Lock order: every mutator holds `rows`' write lock *before* touching
+/// the index, and readers take `rows`' read lock first too, so postings
+/// can never dangle — positions are only remapped (prune) or rebuilt
+/// (compaction) inside the same critical section that rewrites the rows.
+#[derive(Default)]
+struct KeyIndex {
+    cols: HashMap<usize, HashMap<Value, Vec<Posting>>>,
+}
+
+impl KeyIndex {
+    /// Add postings for rows appended at `[start..start+n)`.
+    fn append(&mut self, rows: &[DeltaRow], start: usize) {
+        for (col, map) in &mut self.cols {
+            for (i, r) in rows[start..].iter().enumerate() {
+                let v = r.tuple.get(*col);
+                if *v == Value::Null {
+                    continue; // NULL never equi-joins; keep it out of postings
+                }
+                map.entry(v.clone())
+                    .or_default()
+                    .push((start + i, r.ts.expect("delta rows are timestamped")));
+            }
+        }
+    }
+
+    /// Rebuild every indexed column's postings from scratch (compaction
+    /// rewrote the prefix, so positions and timestamps both moved).
+    fn rebuild(&mut self, rows: &[DeltaRow]) {
+        for map in self.cols.values_mut() {
+            map.clear();
+        }
+        self.append(rows, 0);
+    }
+
+    /// Shift postings left by `pruned` dropped prefix rows, discarding
+    /// postings that pointed into the prefix.
+    fn remap_pruned(&mut self, pruned: usize) {
+        for map in self.cols.values_mut() {
+            map.retain(|_, list| {
+                list.retain_mut(|(pos, _)| {
+                    if *pos < pruned {
+                        false
+                    } else {
+                        *pos -= pruned;
+                        true
+                    }
+                });
+                !list.is_empty()
+            });
+        }
+    }
+
+    /// `[lo, hi)` bounds of one key's postings with csn in `(a, b]`.
+    fn slice(list: &[Posting], interval: TimeInterval) -> (usize, usize) {
+        (
+            list.partition_point(|&(_, csn)| csn <= interval.lo),
+            list.partition_point(|&(_, csn)| csn <= interval.hi),
+        )
+    }
+
+    /// Approximate heap bytes held by postings (capacity is ignored; this
+    /// feeds a monitoring gauge, not an allocator).
+    fn approx_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for map in self.cols.values() {
+            for (key, list) in map {
+                total += std::mem::size_of::<Value>() as u64
+                    + match key {
+                        Value::Str(s) => s.len() as u64,
+                        _ => 0,
+                    }
+                    + (list.len() * std::mem::size_of::<Posting>()) as u64;
+            }
+        }
+        total
+    }
+}
+
 /// Append-only, CSN-ordered base-table delta (`Δ^R`).
 pub struct DeltaStore {
     table: TableId,
@@ -110,6 +196,9 @@ pub struct DeltaStore {
     /// lets range caches detect that a cached `(table, interval)` entry no
     /// longer matches the store contents.
     version: AtomicU64,
+    /// Keyed time-range index (posting lists per indexed column). Always
+    /// acquired *after* `rows` — see [`KeyIndex`].
+    index: RwLock<KeyIndex>,
     compaction: CompactionCounters,
 }
 
@@ -137,6 +226,7 @@ impl DeltaStore {
             base: RwLock::new(DeltaBase::default()),
             compacted_through: AtomicU64::new(0),
             version: AtomicU64::new(0),
+            index: RwLock::new(KeyIndex::default()),
             compaction: CompactionCounters::default(),
         }
     }
@@ -185,6 +275,7 @@ impl DeltaStore {
         base.counts.retain(|_, c| *c != 0);
         base.through = base.through.max(through);
         if hi > 0 {
+            self.index.write().remap_pruned(hi);
             self.version.fetch_add(1, Ordering::AcqRel);
         }
         hi
@@ -232,6 +323,7 @@ impl DeltaStore {
         let before: u64 = rows[..hi].iter().map(approx_row_bytes).sum();
         let after: u64 = merged.iter().map(approx_row_bytes).sum();
         rows.splice(..hi, merged);
+        self.index.write().rebuild(&rows);
         self.compaction.record(
             (hi - groups) as u64,
             zeros as u64,
@@ -255,8 +347,12 @@ impl DeltaStore {
             rows.last().and_then(|r| r.ts).is_none_or(|last| last <= ts),
             "delta rows must be appended in CSN order"
         );
+        let start = rows.len();
         for (count, tuple) in changes {
             rows.push(DeltaRow::change(ts, count, tuple));
+        }
+        if rows.len() > start {
+            self.index.write().append(&rows, start);
         }
     }
 
@@ -266,6 +362,96 @@ impl DeltaStore {
         let rows = self.rows.read();
         let (lo, hi) = interval_bounds(&rows, interval);
         rows[lo..hi].to_vec()
+    }
+
+    /// Create a keyed time-range index on `col`, back-filling postings for
+    /// already-captured history. Idempotent.
+    pub fn create_key_index(&self, col: usize) {
+        let rows = self.rows.read();
+        let mut index = self.index.write();
+        if index.cols.contains_key(&col) {
+            return;
+        }
+        index.cols.insert(col, HashMap::new());
+        // Back-fill just the new column (append walks every indexed col,
+        // but the others' postings are already position-correct — rebuild
+        // via a single-col scratch map instead).
+        let map = index.cols.get_mut(&col).expect("just inserted");
+        for (i, r) in rows.iter().enumerate() {
+            let v = r.tuple.get(col);
+            if *v != Value::Null {
+                map.entry(v.clone())
+                    .or_default()
+                    .push((i, r.ts.expect("delta rows are timestamped")));
+            }
+        }
+    }
+
+    /// Whether `col` has a keyed time-range index.
+    pub fn has_key_index(&self, col: usize) -> bool {
+        self.index.read().cols.contains_key(&col)
+    }
+
+    /// Columns carrying a keyed time-range index.
+    pub fn indexed_key_cols(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.index.read().cols.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    /// `σ_{a,b}(Δ^R) ⋉ keys` on `col`: the change records with timestamp
+    /// in `(a, b]` whose `col` value is in `keys`, in CSN order — a per-key
+    /// binary-search slice of the posting lists instead of a range scan.
+    /// `None` when `col` has no key index (caller falls back to
+    /// [`DeltaStore::range`]).
+    pub fn range_keyed(
+        &self,
+        interval: TimeInterval,
+        col: usize,
+        keys: &[Value],
+    ) -> Option<Vec<DeltaRow>> {
+        let rows = self.rows.read();
+        let index = self.index.read();
+        let map = index.cols.get(&col)?;
+        let mut positions: Vec<usize> = Vec::new();
+        for key in keys {
+            if let Some(list) = map.get(key) {
+                let (lo, hi) = KeyIndex::slice(list, interval);
+                positions.extend(list[lo..hi].iter().map(|&(pos, _)| pos));
+            }
+        }
+        // Distinct keys never share a posting, so sorting positions is
+        // enough to restore global CSN order (rows are CSN-sorted and the
+        // min-timestamp rule downstream depends on it).
+        positions.sort_unstable();
+        Some(positions.into_iter().map(|p| rows[p].clone()).collect())
+    }
+
+    /// Total posting-list length for `keys` on `col` within `(a, b]` — the
+    /// exact row count [`DeltaStore::range_keyed`] would return, at binary
+    /// search cost. `None` when `col` has no key index.
+    pub fn keyed_count_estimate(
+        &self,
+        interval: TimeInterval,
+        col: usize,
+        keys: &[Value],
+    ) -> Option<usize> {
+        let index = self.index.read();
+        let map = index.cols.get(&col)?;
+        let mut total = 0usize;
+        for key in keys {
+            if let Some(list) = map.get(key) {
+                let (lo, hi) = KeyIndex::slice(list, interval);
+                total += hi - lo;
+            }
+        }
+        Some(total)
+    }
+
+    /// Approximate heap bytes held by the keyed index's postings (feeds
+    /// the `rolljoin_delta_postings_bytes` gauge).
+    pub fn postings_bytes(&self) -> u64 {
+        self.index.read().approx_bytes()
     }
 
     /// Number of change records with timestamp in `(a, b]` (cheap; used by
@@ -920,6 +1106,113 @@ mod tests {
         let s = vd.compaction_stats();
         assert_eq!((s.rows_merged, s.zero_runs_dropped), (2, 1));
         assert!(s.bytes_reclaimed > 0);
+    }
+
+    #[test]
+    fn key_index_range_keyed_matches_filtered_scan() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![7, 70]), (1, tup![8, 80])]);
+        d.append_commit(3, [(-1, tup![7, 70]), (1, tup![9, 90])]);
+        d.create_key_index(0);
+        assert!(d.has_key_index(0));
+        assert!(!d.has_key_index(1));
+        assert_eq!(d.indexed_key_cols(), vec![0]);
+        d.append_commit(5, [(1, tup![7, 71])]);
+        let iv = TimeInterval::new(0, 5);
+        let keys = [Value::Int(7)];
+        let got = d.range_keyed(iv, 0, &keys).unwrap();
+        let want: Vec<DeltaRow> = d
+            .range(iv)
+            .into_iter()
+            .filter(|r| *r.tuple.get(0) == Value::Int(7))
+            .collect();
+        assert_eq!(got, want, "keyed slice equals the filtered scan");
+        assert_eq!(d.keyed_count_estimate(iv, 0, &keys), Some(got.len()));
+        // The (a, b] bounds cut posting lists, not just the scan.
+        let tight = TimeInterval::new(1, 3);
+        assert_eq!(d.range_keyed(tight, 0, &keys).unwrap().len(), 1);
+        assert_eq!(d.keyed_count_estimate(tight, 0, &keys), Some(1));
+        // Unindexed column: caller must fall back to a scan.
+        assert!(d.range_keyed(iv, 1, &keys).is_none());
+        assert!(d.keyed_count_estimate(iv, 1, &keys).is_none());
+        assert!(d.postings_bytes() > 0);
+    }
+
+    #[test]
+    fn key_index_multi_key_output_stays_csn_ordered() {
+        let d = DeltaStore::new(TableId(1));
+        d.create_key_index(0);
+        d.append_commit(1, [(1, tup![2, 0])]);
+        d.append_commit(2, [(1, tup![1, 0])]);
+        d.append_commit(3, [(1, tup![2, 1])]);
+        let got = d
+            .range_keyed(TimeInterval::new(0, 3), 0, &[Value::Int(1), Value::Int(2)])
+            .unwrap();
+        let ts: Vec<_> = got.iter().map(|r| r.ts.unwrap()).collect();
+        assert_eq!(ts, vec![1, 2, 3], "merged postings stay CSN-sorted");
+    }
+
+    #[test]
+    fn key_index_skips_null_keys() {
+        let d = DeltaStore::new(TableId(1));
+        d.create_key_index(0);
+        d.append_commit(1, [(1, Tuple::new([Value::Null, Value::Int(9)]))]);
+        d.append_commit(2, [(1, tup![4, 9])]);
+        let iv = TimeInterval::new(0, 2);
+        assert_eq!(d.range_keyed(iv, 0, &[Value::Null]).unwrap().len(), 0);
+        assert_eq!(d.range_keyed(iv, 0, &[Value::Int(4)]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn key_index_survives_prune_remap() {
+        let d = DeltaStore::new(TableId(1));
+        d.create_key_index(0);
+        d.append_commit(1, [(1, tup![1, 0])]);
+        d.append_commit(2, [(1, tup![2, 0])]);
+        d.append_commit(4, [(1, tup![1, 1]), (1, tup![3, 0])]);
+        d.append_commit(6, [(1, tup![1, 2])]);
+        assert_eq!(d.prune_through(2), 2);
+        let iv = TimeInterval::new(2, 6);
+        let keys = [Value::Int(1)];
+        let got = d.range_keyed(iv, 0, &keys).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(
+            got.iter().map(|r| r.ts.unwrap()).collect::<Vec<_>>(),
+            vec![4, 6]
+        );
+        assert_eq!(d.keyed_count_estimate(iv, 0, &keys), Some(2));
+        // tup![2, 0]'s posting pointed into the pruned prefix and is gone.
+        assert_eq!(d.keyed_count_estimate(iv, 0, &[Value::Int(2)]), Some(0));
+    }
+
+    #[test]
+    fn key_index_rebuilt_by_compaction() {
+        let d = DeltaStore::new(TableId(1));
+        d.create_key_index(0);
+        d.append_commit(1, [(1, tup![1, 0])]);
+        d.append_commit(2, [(1, tup![1, 0]), (1, tup![2, 0])]);
+        d.append_commit(3, [(-1, tup![2, 0])]);
+        d.append_commit(5, [(1, tup![1, 0])]);
+        assert_eq!(d.compact_through(3), 3);
+        let iv = TimeInterval::new(0, 5);
+        let got = d.range_keyed(iv, 0, &[Value::Int(1)]).unwrap();
+        assert_eq!(got, d.range(iv), "only key 1 survives compaction");
+        assert_eq!((got[0].ts, got[0].count), (Some(1), 2), "min ts kept");
+        // Key 2 netted to zero: postings must not resurrect it.
+        assert_eq!(d.keyed_count_estimate(iv, 0, &[Value::Int(2)]), Some(0));
+    }
+
+    #[test]
+    fn create_key_index_backfills_and_is_idempotent() {
+        let d = DeltaStore::new(TableId(1));
+        d.append_commit(1, [(1, tup![5, 0])]);
+        d.append_commit(2, [(1, tup![5, 1])]);
+        d.create_key_index(0);
+        d.create_key_index(0);
+        assert_eq!(
+            d.keyed_count_estimate(TimeInterval::new(0, 2), 0, &[Value::Int(5)]),
+            Some(2)
+        );
     }
 
     #[test]

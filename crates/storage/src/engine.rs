@@ -25,7 +25,7 @@
 
 use crate::capture::Capture;
 use crate::delta::{DeltaStore, VdUndo, ViewDeltaStore};
-use crate::lock::{stripe_of, LockGranularity, LockKey, LockManager, LockMode};
+use crate::lock::{stripe_of, stripes_for, LockGranularity, LockKey, LockManager, LockMode};
 use crate::table::BaseTable;
 use crate::uow::UnitOfWork;
 use crate::wal::{Wal, WalRecord};
@@ -444,6 +444,99 @@ impl Engine {
         Ok(self.delta_store(table)?.compaction_stats())
     }
 
+    // ---- keyed delta indexes ---------------------------------------------
+
+    /// Create a keyed time-range index on `col` of `table`'s delta store.
+    /// Existing history is back-filled; capture maintains postings on every
+    /// later append. Logged for recovery (the index is re-created before
+    /// capture replay rebuilds the delta, so postings come back too).
+    pub fn create_delta_index(&self, table: TableId, col: usize) -> Result<()> {
+        let arity = self.schema(table)?.arity();
+        if col >= arity {
+            return Err(Error::Invalid(format!(
+                "delta index column {col} out of range for {table} (arity {arity})"
+            )));
+        }
+        self.delta_store(table)?.create_key_index(col);
+        self.inner.wal.append(&WalRecord::CreateDeltaIndex {
+            table,
+            col: col as u32,
+        });
+        Ok(())
+    }
+
+    /// Does `table`'s delta store have a keyed index on `col`?
+    pub fn has_delta_index(&self, table: TableId, col: usize) -> Result<bool> {
+        Ok(self.delta_store(table)?.has_key_index(col))
+    }
+
+    /// `σ_{a,b}(Δ^R) ⋉ keys` on `col`: the keyed slice of a delta range,
+    /// in CSN order. Same capture-HWM and floor requirements as
+    /// [`Engine::delta_range`]; `None` when `col` has no delta index.
+    pub fn delta_range_keyed(
+        &self,
+        table: TableId,
+        interval: TimeInterval,
+        col: usize,
+        keys: &[rolljoin_common::Value],
+    ) -> Result<Option<Vec<DeltaRow>>> {
+        let hwm = self.capture_hwm();
+        if interval.hi > hwm {
+            return Err(Error::CaptureBehind {
+                table,
+                requested: interval.hi,
+                hwm,
+            });
+        }
+        let store = self.delta_store(table)?;
+        let floor = store.floor();
+        if interval.lo < floor {
+            return Err(Error::HistoryPruned {
+                table,
+                requested: interval.lo,
+                pruned_through: floor,
+            });
+        }
+        Ok(store.range_keyed(interval, col, keys))
+    }
+
+    /// Exact number of rows [`Engine::delta_range_keyed`] would return
+    /// (posting-list slice lengths, at binary-search cost) — the planner's
+    /// probe-vs-scan estimate. Same HWM requirement; `None` without an
+    /// index on `col`.
+    pub fn delta_keyed_estimate(
+        &self,
+        table: TableId,
+        interval: TimeInterval,
+        col: usize,
+        keys: &[rolljoin_common::Value],
+    ) -> Result<Option<usize>> {
+        let hwm = self.capture_hwm();
+        if interval.hi > hwm {
+            return Err(Error::CaptureBehind {
+                table,
+                requested: interval.hi,
+                hwm,
+            });
+        }
+        Ok(self
+            .delta_store(table)?
+            .keyed_count_estimate(interval, col, keys))
+    }
+
+    /// Approximate heap bytes held by keyed delta-index postings across
+    /// all base tables (feeds a monitoring gauge).
+    pub fn delta_postings_bytes(&self) -> u64 {
+        let tables = self.inner.tables.read();
+        tables
+            .values()
+            .filter_map(|e| match &e.store {
+                TableStore::Base { delta, .. } => Some(delta.postings_bytes()),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// View-delta range read (no transaction required: used by apply after
     /// it has S-locked the table, and by experiments for inspection).
     pub fn vd_range(&self, table: TableId, interval: TimeInterval) -> Result<Vec<DeltaRow>> {
@@ -564,7 +657,9 @@ impl Engine {
                 WalRecord::Abort { txn } => {
                     staged.remove(&txn);
                 }
-                WalRecord::CreateTable { .. } | WalRecord::CreateIndex { .. } => {}
+                WalRecord::CreateTable { .. }
+                | WalRecord::CreateIndex { .. }
+                | WalRecord::CreateDeltaIndex { .. } => {}
             }
         }
         Ok(out)
@@ -610,6 +705,12 @@ impl Engine {
                     if let TableStore::Base { table: t, .. } = &e.store {
                         t.lock().create_index(col as usize)?;
                     }
+                }
+                WalRecord::CreateDeltaIndex { table, col } => {
+                    // Register the indexed column now (the delta store is
+                    // still empty); the capture replay below re-appends
+                    // history and back-fills postings as it goes.
+                    engine.delta_store(table)?.create_key_index(col as usize);
                 }
                 WalRecord::Begin { txn } => {
                     max_txn = max_txn.max(txn.0);
@@ -882,24 +983,7 @@ impl Txn {
         self.check_active()?;
         match self.engine.lock_granularity() {
             LockGranularity::Table => self.lock(table, LockMode::Shared)?,
-            LockGranularity::Striped(n) => {
-                // A table-granularity S (pre-locked by sync propagation,
-                // or taken by an earlier full scan) covers every stripe.
-                if !self.engine.inner.locks.holds_key(
-                    self.id,
-                    LockKey::table(table),
-                    LockMode::Shared,
-                ) {
-                    let n = n.max(1);
-                    self.lock(table, LockMode::IntentShared)?;
-                    let mut stripes: Vec<u32> = keys.iter().map(|k| stripe_of(col, k, n)).collect();
-                    stripes.sort_unstable();
-                    stripes.dedup();
-                    for s in stripes {
-                        self.lock_key(LockKey::stripe(table, s), LockMode::Shared)?;
-                    }
-                }
-            }
+            LockGranularity::Striped(_) => self.key_stripe_locks(table, col, keys)?,
         }
         let entry = self.engine.base_entry(table)?;
         match &entry.store {
@@ -912,12 +996,62 @@ impl Txn {
                 }
                 let mut out = Vec::new();
                 for key in keys {
-                    out.extend(t.lookup(col, key));
+                    t.for_each_lookup(col, key, |tuple, count| out.push((tuple.clone(), count)));
                 }
                 Ok(out)
             }
             _ => unreachable!(),
         }
+    }
+
+    /// Take the keyed-probe stripe footprint on `(col, keys)`: IS at the
+    /// table plus S on the stripes the keys hash to, in ascending order —
+    /// skipped entirely when a table-granularity S (pre-locked by sync
+    /// propagation, or taken by an earlier full scan) already covers every
+    /// stripe.
+    fn key_stripe_locks(
+        &mut self,
+        table: TableId,
+        col: usize,
+        keys: &[rolljoin_common::Value],
+    ) -> Result<()> {
+        if self
+            .engine
+            .inner
+            .locks
+            .holds_key(self.id, LockKey::table(table), LockMode::Shared)
+        {
+            return Ok(());
+        }
+        let n = self.engine.lock_granularity().stripes().unwrap_or(1).max(1);
+        self.lock(table, LockMode::IntentShared)?;
+        for s in stripes_for(col, keys, n) {
+            self.lock_key(LockKey::stripe(table, s), LockMode::Shared)?;
+        }
+        Ok(())
+    }
+
+    /// Keyed **delta** probe: `σ_{a,b}(Δ^R) ⋉ keys` on `col` of `table`'s
+    /// delta store. The read itself is lock-free below the capture HWM
+    /// (the range is immutable), but under striped locking the probe takes
+    /// the same IS + key-stripe S footprint as a keyed base probe via
+    /// [`Txn::lookup_keys`] — the probe's `(col, key)` set conflicts with
+    /// writers of colliding keys exactly like the base-table cascade, so
+    /// the two probe kinds are interchangeable to the lock hierarchy.
+    /// Table granularity takes no lock, matching the plain delta-scan
+    /// fetch path. `None` when `col` has no delta index.
+    pub fn delta_lookup_keys(
+        &mut self,
+        table: TableId,
+        interval: TimeInterval,
+        col: usize,
+        keys: &[rolljoin_common::Value],
+    ) -> Result<Option<Vec<DeltaRow>>> {
+        self.check_active()?;
+        if let LockGranularity::Striped(_) = self.engine.lock_granularity() {
+            self.key_stripe_locks(table, col, keys)?;
+        }
+        self.engine.delta_range_keyed(table, interval, col, keys)
     }
 
     /// Apply a signed count to a base table (the apply process's write
@@ -1315,6 +1449,127 @@ mod tests {
         w.commit().unwrap();
         let mut r = e.begin();
         assert_eq!(r.scan(t).unwrap(), vec![tup![7, 1]]);
+    }
+
+    #[test]
+    fn delta_index_keyed_range_and_estimate() {
+        let e = Engine::new();
+        let t = e
+            .create_table(
+                "r",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        e.create_delta_index(t, 0).unwrap();
+        assert!(e.has_delta_index(t, 0).unwrap());
+        assert!(!e.has_delta_index(t, 1).unwrap());
+        assert!(e.create_delta_index(t, 9).is_err(), "col out of range");
+        let mut txn = e.begin();
+        txn.insert(t, tup![7, 1]).unwrap();
+        txn.insert(t, tup![8, 1]).unwrap();
+        txn.commit().unwrap();
+        let mut txn = e.begin();
+        txn.insert(t, tup![7, 2]).unwrap();
+        let c2 = txn.commit().unwrap();
+        let iv = TimeInterval::new(0, c2);
+        let key = [rolljoin_common::Value::Int(7)];
+        // Capture behind: refused like delta_range.
+        assert!(matches!(
+            e.delta_range_keyed(t, iv, 0, &key),
+            Err(Error::CaptureBehind { .. })
+        ));
+        e.capture_catch_up().unwrap();
+        let rows = e.delta_range_keyed(t, iv, 0, &key).unwrap().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows
+            .iter()
+            .all(|r| r.tuple.get(0) == &rolljoin_common::Value::Int(7)));
+        assert_eq!(e.delta_keyed_estimate(t, iv, 0, &key).unwrap(), Some(2));
+        assert_eq!(e.delta_range_keyed(t, iv, 1, &key).unwrap(), None);
+        assert!(e.delta_postings_bytes() > 0);
+        // Keyed probe through a transaction takes no lock at table grain
+        // and still serves the slice.
+        let mut r = e.begin();
+        let got = r.delta_lookup_keys(t, iv, 0, &key).unwrap().unwrap();
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn delta_index_striped_probe_takes_stripe_footprint() {
+        let e = Engine::with_lock_timeout(Duration::from_millis(150));
+        let t = e
+            .create_table(
+                "r",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        e.create_index(t, 0).unwrap();
+        e.create_delta_index(t, 0).unwrap();
+        e.set_lock_granularity(LockGranularity::Striped(64));
+        let mut txn = e.begin();
+        txn.insert(t, tup![7, 1]).unwrap();
+        let c1 = txn.commit().unwrap();
+        e.capture_catch_up().unwrap();
+        // An uncommitted writer of key 7 holds its stripe X: the keyed
+        // delta probe must block exactly like a keyed base probe.
+        let mut w = e.begin();
+        w.insert(t, tup![7, 2]).unwrap();
+        let mut r = e.begin();
+        let err = r
+            .delta_lookup_keys(
+                t,
+                TimeInterval::new(0, c1),
+                0,
+                &[rolljoin_common::Value::Int(7)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::LockTimeout { .. }));
+        drop(r);
+        w.commit().unwrap();
+        let mut r = e.begin();
+        let rows = r
+            .delta_lookup_keys(
+                t,
+                TimeInterval::new(0, c1),
+                0,
+                &[rolljoin_common::Value::Int(7)],
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn recovery_restores_delta_index_with_postings() {
+        let e = Engine::new();
+        let t = e
+            .create_table(
+                "r",
+                Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        e.create_delta_index(t, 0).unwrap();
+        let mut txn = e.begin();
+        txn.insert(t, tup![5, 1]).unwrap();
+        txn.commit().unwrap();
+        let mut txn = e.begin();
+        txn.insert(t, tup![5, 2]).unwrap();
+        txn.insert(t, tup![6, 1]).unwrap();
+        let c2 = txn.commit().unwrap();
+
+        let r = Engine::recover_from_bytes(&e.wal().snapshot_bytes()).unwrap();
+        assert!(r.has_delta_index(t, 0).unwrap());
+        let iv = TimeInterval::new(0, c2);
+        let rows = r
+            .delta_range_keyed(t, iv, 0, &[rolljoin_common::Value::Int(5)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(rows.len(), 2, "capture replay back-filled postings");
+        assert_eq!(
+            r.delta_keyed_estimate(t, iv, 0, &[rolljoin_common::Value::Int(6)])
+                .unwrap(),
+            Some(1)
+        );
     }
 
     #[test]

@@ -96,6 +96,24 @@ pub fn stripe_of(col: usize, key: &Value, stripes: u32) -> u32 {
     (h.finish() % u64::from(stripes.max(1))) as u32
 }
 
+/// The sorted, deduplicated stripe set of a key set on one column — the
+/// acquisition order for a keyed probe's stripe locks. Base-table probes
+/// and keyed delta probes share this, so their `(col, key)` footprints are
+/// identical and a writer's stripe X conflicts with both the same way.
+pub fn stripes_for<'a>(
+    col: usize,
+    keys: impl IntoIterator<Item = &'a Value>,
+    stripes: u32,
+) -> Vec<u32> {
+    let mut out: Vec<u32> = keys
+        .into_iter()
+        .map(|k| stripe_of(col, k, stripes))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 /// A lockable resource: a table (`stripe: None`) or one of its key
 /// stripes. The derived `Ord` is the global acquisition order —
 /// `(TableId, stripe)` lexicographic with the table level before its
@@ -727,6 +745,17 @@ mod tests {
         let b = stripe_of(1, &v, 64);
         assert!(b < 64);
         assert_eq!(stripe_of(7, &Value::Null, 1), 0);
+    }
+
+    #[test]
+    fn stripes_for_sorts_and_dedups() {
+        let keys = [Value::Int(1), Value::Int(2), Value::Int(1), Value::Int(3)];
+        let got = stripes_for(0, &keys, 64);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        let mut want: Vec<u32> = keys.iter().map(|k| stripe_of(0, k, 64)).collect();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(got, want);
     }
 
     #[test]

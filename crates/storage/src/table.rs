@@ -71,13 +71,22 @@ impl BaseTable {
         cols
     }
 
+    /// Visit every `(tuple, count)` whose `col` equals `key` (index
+    /// required) without materializing a per-key vector — probe fetch
+    /// paths push matches straight into their output through `f`.
+    pub fn for_each_lookup(&self, col: usize, key: &Value, mut f: impl FnMut(&Tuple, i64)) {
+        if let Some(m) = self.secondary.get(&col).and_then(|idx| idx.get(key)) {
+            for (t, c) in m {
+                f(t, *c);
+            }
+        }
+    }
+
     /// All `(tuple, count)` whose `col` equals `key` (index required).
     pub fn lookup(&self, col: usize, key: &Value) -> Vec<(Tuple, i64)> {
-        self.secondary
-            .get(&col)
-            .and_then(|idx| idx.get(key))
-            .map(|m| m.iter().map(|(t, c)| (t.clone(), *c)).collect())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.for_each_lookup(col, key, |t, c| out.push((t.clone(), c)));
+        out
     }
 
     fn index_insert(&mut self, tuple: &Tuple) {

@@ -57,6 +57,10 @@ pub enum WalRecord {
     },
     /// DDL: a secondary index was created on a base table column.
     CreateIndex { table: TableId, col: u32 },
+    /// DDL: a keyed time-range index was created on a base table's delta
+    /// store column. Logged so recovery re-creates the index before
+    /// capture replay back-fills its postings.
+    CreateDeltaIndex { table: TableId, col: u32 },
     /// `count` copies of one tuple inserted (`count > 0`) or deleted
     /// (`count < 0`) in a table — the consolidated form `roll_to` emits
     /// when installing per-key net counts, replacing `|count|` individual
@@ -77,6 +81,7 @@ const TAG_ABORT: u8 = 5;
 const TAG_CREATE_TABLE: u8 = 6;
 const TAG_CREATE_INDEX: u8 = 7;
 const TAG_APPLY: u8 = 8;
+const TAG_CREATE_DELTA_INDEX: u8 = 9;
 
 fn put_string(buf: &mut Vec<u8>, s: &str) {
     codec::put_varint(buf, s.len() as u64);
@@ -122,7 +127,9 @@ impl WalRecord {
             | WalRecord::Commit { txn, .. }
             | WalRecord::Abort { txn }
             | WalRecord::Apply { txn, .. } => *txn,
-            WalRecord::CreateTable { .. } | WalRecord::CreateIndex { .. } => TxnId(0),
+            WalRecord::CreateTable { .. }
+            | WalRecord::CreateIndex { .. }
+            | WalRecord::CreateDeltaIndex { .. } => TxnId(0),
         }
     }
 
@@ -178,6 +185,11 @@ impl WalRecord {
             }
             WalRecord::CreateIndex { table, col } => {
                 buf.push(TAG_CREATE_INDEX);
+                codec::put_varint(&mut buf, u64::from(table.0));
+                codec::put_varint(&mut buf, u64::from(*col));
+            }
+            WalRecord::CreateDeltaIndex { table, col } => {
+                buf.push(TAG_CREATE_DELTA_INDEX);
                 codec::put_varint(&mut buf, u64::from(table.0));
                 codec::put_varint(&mut buf, u64::from(*col));
             }
@@ -255,6 +267,10 @@ impl WalRecord {
                 }
             }
             TAG_CREATE_INDEX => WalRecord::CreateIndex {
+                table: TableId(codec::get_varint(buf, &mut pos)? as u32),
+                col: codec::get_varint(buf, &mut pos)? as u32,
+            },
+            TAG_CREATE_DELTA_INDEX => WalRecord::CreateDeltaIndex {
                 table: TableId(codec::get_varint(buf, &mut pos)? as u32),
                 col: codec::get_varint(buf, &mut pos)? as u32,
             },
@@ -456,6 +472,10 @@ mod tests {
                 wallclock_micros: 1_000_000,
             },
             WalRecord::Abort { txn: TxnId(2) },
+            WalRecord::CreateDeltaIndex {
+                table: TableId(2),
+                col: 1,
+            },
             WalRecord::Apply {
                 txn: TxnId(3),
                 table: TableId(2),
@@ -478,10 +498,10 @@ mod tests {
         for rec in sample() {
             wal.append(&rec);
         }
-        assert_eq!(wal.len(), 6);
+        assert_eq!(wal.len(), 7);
         assert_eq!(wal.read_from(0).unwrap(), sample());
         assert_eq!(wal.read_from(3).unwrap(), sample()[3..].to_vec());
-        assert_eq!(wal.read_from(6).unwrap(), vec![]);
+        assert_eq!(wal.read_from(7).unwrap(), vec![]);
     }
 
     #[test]
@@ -504,7 +524,7 @@ mod tests {
         // Chop mid-way through the final frame.
         let cut = bytes.len() - 3;
         let recs = Wal::recover(&bytes[..cut]).unwrap();
-        assert_eq!(recs, sample()[..5].to_vec());
+        assert_eq!(recs, sample()[..6].to_vec());
     }
 
     #[test]
